@@ -1,0 +1,82 @@
+// Command falconbench regenerates Table 1: Falcon signing throughput
+// (signs/sec) for security levels 1–3 (N = 256, 512, 1024) under the four
+// base samplers, with ChaCha20 as the PRNG throughout, exactly as in the
+// paper's setup.
+//
+// Usage:
+//
+//	falconbench -secs 2            # measure each cell for ~2 seconds
+//	falconbench -n 512             # single level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctgauss/falcon"
+)
+
+func main() {
+	secs := flag.Float64("secs", 2, "target wall time per table cell")
+	only := flag.Int("n", 0, "restrict to one ring degree (256, 512 or 1024)")
+	flag.Parse()
+
+	degrees := []int{256, 512, 1024}
+	if *only != 0 {
+		degrees = []int{*only}
+	}
+	kinds := []falcon.BaseSamplerKind{
+		falcon.BaseByteScanCDT, falcon.BaseCDT,
+		falcon.BaseLinearCDT, falcon.BaseBitsliced,
+	}
+
+	fmt.Println("Table 1 — Falcon-sign throughput (signs/sec), ChaCha20 PRNG")
+	fmt.Println()
+	fmt.Printf("%-18s", "level")
+	for _, k := range kinds {
+		fmt.Printf("%22v", k)
+	}
+	fmt.Println()
+
+	for _, n := range degrees {
+		fmt.Fprintf(os.Stderr, "generating key for N=%d...\n", n)
+		sk, err := falcon.Keygen(n, []byte(fmt.Sprintf("falconbench-%d", n)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		params := sk.Params
+		fmt.Printf("%-18s", fmt.Sprintf("Level %d (N=%d)", params.Level, n))
+		msg := []byte("falconbench message")
+		for _, k := range kinds {
+			signer, err := falcon.NewSigner(sk, k, []byte("bench"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// Warm up, then measure for ~secs.
+			if _, err := signer.Sign(msg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			count := 0
+			start := time.Now()
+			for time.Since(start).Seconds() < *secs {
+				if _, err := signer.Sign(msg); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				count++
+			}
+			rate := float64(count) / time.Since(start).Seconds()
+			fmt.Printf("%22.0f", rate)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("paper (i7-6600U, C): L1: 10327/8041/6080/7025; L2: 5220/4064/3027/3527;")
+	fmt.Println("L3: 2640/2014/1519/1754 — expected shape: bytescan > cdt > this work > linear-ct,")
+	fmt.Println("with this work within ≈35% of the fastest non-constant-time sampler.")
+}

@@ -1,0 +1,31 @@
+// Command gencircuits regenerates the checked-in compiled sampler circuits
+// in internal/sampler/gen (run via go:generate in that package).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ctgauss/internal/core"
+)
+
+func main() {
+	for _, cfg := range []struct{ sigma, file, fn string }{
+		{"2", "internal/sampler/gen/sigma2.go", "Sigma2Batch"},
+		{"6.15543", "internal/sampler/gen/sigma615543.go", "Sigma615543Batch"},
+	} {
+		b, err := core.Build(core.Config{Sigma: cfg.sigma, N: 128, TailCut: 13, Min: core.MinimizeExact})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src := b.Program.EmitGo("gen", cfg.fn)
+		src += fmt.Sprintf("\n// %sInputs is the number of packed input words %s consumes.\nconst %sInputs = %d\n\n// %sValueBits is the number of output magnitude bits.\nconst %sValueBits = %d\n",
+			cfg.fn, cfg.fn, cfg.fn, b.Program.NumInputs, cfg.fn, cfg.fn, b.Program.ValueBits)
+		if err := os.WriteFile(cfg.file, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d ops)\n", cfg.file, b.Program.OpCount())
+	}
+}

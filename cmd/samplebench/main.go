@@ -1,0 +1,123 @@
+// Command samplebench regenerates Table 2 (sampler cost: this work vs the
+// simple minimization of [21]) and the §7 PRNG-overhead measurement.
+//
+// Usage:
+//
+//	samplebench               # Table 2
+//	samplebench -prng-overhead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctgauss/internal/core"
+	"ctgauss/internal/prng"
+	"ctgauss/internal/sampler"
+	"ctgauss/internal/sampler/gen"
+)
+
+func main() {
+	overhead := flag.Bool("prng-overhead", false, "measure the PRNG share of sampling time (§7)")
+	batches := flag.Int("batches", 20000, "64-sample batches per measurement")
+	cyclesPerNs := flag.Float64("ghz", 2.6, "clock in GHz for the cycles column (paper: 2.6)")
+	flag.Parse()
+
+	if *overhead {
+		prngOverhead(*batches)
+		return
+	}
+	table2(*batches, *cyclesPerNs)
+}
+
+func timeBatches(s *sampler.Bitsliced, batches int) time.Duration {
+	dst := make([]int, 64)
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		s.NextBatch(dst)
+	}
+	return time.Since(start)
+}
+
+func table2(batches int, ghz float64) {
+	fmt.Println("Table 2 — cost of one 64-sample batch (σ, method → ns and ≈cycles @", ghz, "GHz)")
+	fmt.Println()
+	fmt.Printf("%-12s %-22s %12s %12s %14s\n", "sigma", "method", "ns/batch", "cycles", "wordops")
+	for _, sigma := range []string{"2", "6.15543"} {
+		split, err := core.Build(core.Config{Sigma: sigma, N: 128, TailCut: 13, Min: core.MinimizeExact})
+		check(err)
+		simple, err := core.BuildSimple(core.Config{Sigma: sigma, N: 128, TailCut: 13})
+		check(err)
+
+		s1 := split.NewSampler(prng.MustChaCha20([]byte("bench")))
+		d1 := timeBatches(s1, batches)
+		s2 := simple.NewSampler(prng.MustChaCha20([]byte("bench")))
+		d2 := timeBatches(s2, batches)
+
+		// The generated, compiled circuit (the paper's deployment form).
+		var fn func(in, out []uint64)
+		var nin, nv int
+		if sigma == "2" {
+			fn, nin, nv = gen.Sigma2Batch, gen.Sigma2BatchInputs, gen.Sigma2BatchValueBits
+		} else {
+			fn, nin, nv = gen.Sigma615543Batch, gen.Sigma615543BatchInputs, gen.Sigma615543BatchValueBits
+		}
+		sc := sampler.NewCompiled("compiled", fn, nin, nv, prng.MustChaCha20([]byte("bench")))
+		dst := make([]int, 64)
+		startC := time.Now()
+		for i := 0; i < batches; i++ {
+			sc.NextBatch(dst)
+		}
+		dc := time.Since(startC)
+
+		ns1 := float64(d1.Nanoseconds()) / float64(batches)
+		ns2 := float64(d2.Nanoseconds()) / float64(batches)
+		nsc := float64(dc.Nanoseconds()) / float64(batches)
+		fmt.Printf("%-12s %-22s %12.0f %12.0f %14d\n", sigma, "this work (compiled)", nsc, nsc*ghz, split.Program.OpCount())
+		fmt.Printf("%-12s %-22s %12.0f %12.0f %14d\n", sigma, "this work (interp.)", ns1, ns1*ghz, split.Program.OpCount())
+		fmt.Printf("%-12s %-22s %12.0f %12.0f %14d\n", sigma, "simple minim. [21]", ns2, ns2*ghz, simple.Program.OpCount())
+		fmt.Printf("%-12s %-22s %11.0f%% improvement (interp. vs interp. baseline)\n\n", sigma, "", 100*(ns2-ns1)/ns2)
+	}
+	fmt.Println("paper (i7-6600U): σ=2: 3787 → 2293 cycles (37%); σ=6.15543: 11136 → 9880 (11%,")
+	fmt.Println("baseline hand-optimized). Our naive-merge baseline is weaker than Espresso+gcc,")
+	fmt.Println("so the measured improvement is larger; the ordering (split wins) is the claim.")
+}
+
+func prngOverhead(batches int) {
+	fmt.Println("§7 — share of sampling time spent generating pseudorandom bits (σ=2, n=128)")
+	fmt.Println()
+	split, err := core.Build(core.Config{Sigma: "2", N: 128, TailCut: 13, Min: core.MinimizeExact})
+	check(err)
+	words := split.Program.NumInputs + 1
+	fmt.Printf("%-10s %14s %14s %10s\n", "prng", "ns/batch", "prng ns/batch", "share")
+	for _, name := range []string{"shake256", "chacha20", "aes-ctr"} {
+		src, err := prng.NewSource(name, []byte("ovh"))
+		check(err)
+		s := split.NewSampler(src)
+		total := timeBatches(s, batches)
+
+		src2, err := prng.NewSource(name, []byte("ovh"))
+		check(err)
+		rd := prng.NewBitReader(src2)
+		buf := make([]uint64, words)
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			rd.Words(buf)
+		}
+		raw := time.Since(start)
+		fmt.Printf("%-10s %14.0f %14.0f %9.0f%%\n", name,
+			float64(total.Nanoseconds())/float64(batches),
+			float64(raw.Nanoseconds())/float64(batches),
+			100*float64(raw.Nanoseconds())/float64(total.Nanoseconds()))
+	}
+	fmt.Println("\npaper: 80–85% with Keccak, ≈60% with ChaCha; AES-NI suggested as faster still.")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

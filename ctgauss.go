@@ -1,0 +1,171 @@
+// Package ctgauss generates constant-time, bitsliced discrete Gaussian
+// samplers for arbitrary standard deviation and precision, reproducing
+// "Pushing the speed limit of constant-time discrete Gaussian sampling. A
+// case study on the Falcon signature scheme" (Karmakar, Roy, Vercauteren,
+// Verbauwhede — DAC 2019).
+//
+// The pipeline enumerates the Knuth-Yao DDG tree of the target
+// distribution, exploits the structural theorem that every
+// sample-generating random bit string is 1^κ 0 (payload) in draw order,
+// exactly minimizes the per-sublist Boolean functions over the small Δ
+// payload window, and compiles the result into a branch-free straight-line
+// program over 64-bit words that produces 64 samples per evaluation.
+//
+// Quick start:
+//
+//	s, err := ctgauss.New("2")               // σ = 2, n = 128, τ = 13
+//	z := s.Next()                            // one signed sample
+//	batch := make([]int, 64); s.NextBatch(batch)
+package ctgauss
+
+import (
+	"fmt"
+
+	"ctgauss/internal/core"
+	"ctgauss/internal/gaussian"
+	"ctgauss/internal/prng"
+	"ctgauss/internal/sampler"
+)
+
+// Minimizer selects the Boolean minimization strategy of the pipeline.
+type Minimizer = core.Minimizer
+
+// Minimization strategies (see the core pipeline for semantics).
+const (
+	MinimizeExact  = core.MinimizeExact
+	MinimizeGreedy = core.MinimizeGreedy
+	MinimizeNone   = core.MinimizeNone
+)
+
+// Config controls sampler generation.
+type Config struct {
+	// Sigma is the decimal standard deviation, e.g. "2" or "6.15543".
+	Sigma string
+	// Precision is the fixed-point probability precision in bits
+	// (default 128, the paper's Falcon setting).
+	Precision int
+	// TailCut is τ; samples lie in [−⌈τσ⌉, ⌈τσ⌉] (default 13).
+	TailCut float64
+	// Minimizer defaults to MinimizeExact.
+	Minimizer Minimizer
+	// Seed keys the internal ChaCha20 PRNG (default: fixed test seed; pass
+	// fresh randomness for production use).
+	Seed []byte
+	// PRNG selects the generator: "chacha20" (default), "shake256",
+	// "aes-ctr".
+	PRNG string
+}
+
+func (c Config) normalize() Config {
+	if c.Precision == 0 {
+		c.Precision = 128
+	}
+	if c.TailCut == 0 {
+		c.TailCut = gaussian.DefaultTailCut
+	}
+	if c.Seed == nil {
+		c.Seed = []byte("ctgauss-default-seed")
+	}
+	if c.PRNG == "" {
+		c.PRNG = "chacha20"
+	}
+	return c
+}
+
+// Sampler is a generated constant-time discrete Gaussian sampler.
+type Sampler struct {
+	built *core.Built
+	inner *sampler.Bitsliced
+}
+
+// New builds a sampler with default configuration for the given σ.
+func New(sigma string) (*Sampler, error) {
+	return NewWithConfig(Config{Sigma: sigma})
+}
+
+// NewWithConfig builds a sampler from an explicit configuration.
+func NewWithConfig(cfg Config) (*Sampler, error) {
+	cfg = cfg.normalize()
+	built, err := core.Build(core.Config{
+		Sigma:   cfg.Sigma,
+		N:       cfg.Precision,
+		TailCut: cfg.TailCut,
+		Min:     cfg.Minimizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src, err := prng.NewSource(cfg.PRNG, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{built: built, inner: built.NewSampler(src)}, nil
+}
+
+// Next returns one signed sample from D_σ.
+func (s *Sampler) Next() int { return s.inner.Next() }
+
+// NextBatch fills dst (len ≥ 64) with 64 signed samples — the native
+// bitsliced granularity.
+func (s *Sampler) NextBatch(dst []int) { s.inner.NextBatch(dst) }
+
+// BitsUsed reports total random bits consumed (constant per batch).
+func (s *Sampler) BitsUsed() uint64 { return s.inner.BitsUsed() }
+
+// Stats describes the generated circuit.
+type Stats struct {
+	Sigma        string
+	Precision    int
+	Support      int // max magnitude ⌈τσ⌉ representable
+	Delta        int // the paper's Δ (payload window)
+	Leaves       int // DDG-tree leaves (size of list L)
+	Sublists     int // non-empty l_κ
+	ValueBits    int // output magnitude bits m
+	WordOps      int // straight-line program length
+	BitsPerBatch int // random bits consumed per 64 samples
+}
+
+// Stats returns circuit statistics.
+func (s *Sampler) Stats() Stats {
+	b := s.built
+	return Stats{
+		Sigma:        b.Config.Sigma,
+		Precision:    b.Config.N,
+		Support:      b.Table.Support,
+		Delta:        b.Tree.Delta,
+		Leaves:       b.LeafCount,
+		Sublists:     b.SublistCount,
+		ValueBits:    b.Program.ValueBits,
+		WordOps:      b.Program.OpCount(),
+		BitsPerBatch: (b.Program.NumInputs + 1) * 64,
+	}
+}
+
+// Prob returns the probability of sampling z (from the fixed-point table).
+func (s *Sampler) Prob(z int) float64 { return s.built.Table.SignedProb(z) }
+
+// GenerateGo emits a standalone Go source file with the sampler circuit —
+// the output of the paper's generator tool.
+func (s *Sampler) GenerateGo(pkg, funcName string) string {
+	return s.built.Program.EmitGo(pkg, funcName)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("σ=%s n=%d: Δ=%d, %d leaves in %d sublists, %d word ops, %d bits/batch",
+		s.Sigma, s.Precision, s.Delta, s.Leaves, s.Sublists, s.WordOps, s.BitsPerBatch)
+}
+
+// LargeSigma combines a base sampler with the convolution z = z₁ + k·z₂ of
+// Pöppelmann-Ducas-Güneysu, yielding σ ≈ σ_base·√(1+k²) — the intended use
+// of small-σ base samplers for large-σ needs.
+type LargeSigma struct {
+	conv *sampler.Convolution
+}
+
+// NewLargeSigma wraps base (consumed exclusively) with combining factor k.
+func NewLargeSigma(base *Sampler, k int) *LargeSigma {
+	return &LargeSigma{conv: &sampler.Convolution{Base: base.inner, K: k}}
+}
+
+// Next returns one sample with the enlarged standard deviation.
+func (l *LargeSigma) Next() int { return l.conv.Next() }

@@ -1,0 +1,64 @@
+// ddgviz reproduces Fig. 1: the probability matrix and DDG tree for σ = 2
+// at n = 6 bits of precision, plus the per-level leaf structure.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"ctgauss/internal/ddg"
+	"ctgauss/internal/gaussian"
+)
+
+func main() {
+	table, err := gaussian.NewTable(gaussian.MustParams("2", 6, 13))
+	if err != nil {
+		panic(err)
+	}
+	m := table.Matrix()
+
+	fmt.Println("Fig. 1 — probability matrix, σ=2, n=6 (rows truncated to first 6 values):")
+	for v := 0; v <= 5; v++ {
+		row := make([]string, len(m[v]))
+		for c, bit := range m[v] {
+			row[c] = fmt.Sprintf("%d", bit)
+		}
+		fmt.Printf("  P%d  %s\n", v, strings.Join(row, "   "))
+	}
+	fmt.Println()
+
+	tree, err := ddg.Unroll(table)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("DDG tree, level by level (I = internal nodes, digits = leaf sample values):")
+	leavesAt := map[int][]int{}
+	for _, lf := range tree.Leaves {
+		leavesAt[lf.Level] = append(leavesAt[lf.Level], lf.Value)
+	}
+	for lvl := 0; lvl < table.Params.N; lvl++ {
+		var cells []string
+		for _, v := range leavesAt[lvl] {
+			cells = append(cells, fmt.Sprintf("%d", v))
+		}
+		for i := 0; i < tree.InternalPerLevel[lvl]; i++ {
+			cells = append(cells, "I")
+		}
+		fmt.Printf("  level %d: %s\n", lvl, strings.Join(cells, " "))
+		if tree.InternalPerLevel[lvl] == 0 {
+			break
+		}
+	}
+	fmt.Println()
+	fmt.Printf("leaves: %d, Δ=%d, deficit %v·2⁻⁶ (walks that fall off the truncated tree)\n",
+		len(tree.Leaves), tree.Delta, table.MassDeficit())
+	fmt.Println()
+	fmt.Println("every leaf path (draw order: first bit leftmost; paper writes these reversed):")
+	for _, lf := range tree.Leaves {
+		path := make([]string, len(lf.Path))
+		for i, b := range lf.Path {
+			path[i] = fmt.Sprintf("%d", b)
+		}
+		fmt.Printf("  %-8s -> sample %d (κ=%d, j=%d)\n", strings.Join(path, ""), lf.Value, lf.K, lf.J)
+	}
+}

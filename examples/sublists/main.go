@@ -1,0 +1,46 @@
+// sublists reproduces Fig. 3: the list L of sample-generating random bit
+// strings for σ = 2 at n = 16, sorted by the trailing-ones count κ and
+// divided into the sublists l_κ whose payload functions the pipeline
+// minimizes independently.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"ctgauss/internal/ddg"
+	"ctgauss/internal/gaussian"
+)
+
+func main() {
+	table, err := gaussian.NewTable(gaussian.MustParams("2", 16, 13))
+	if err != nil {
+		panic(err)
+	}
+	tree, err := ddg.Unroll(table)
+	if err != nil {
+		panic(err)
+	}
+	if err := tree.VerifyTheorem1(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("Fig. 3 — list L for σ=2, n=16: %d strings, Δ=%d, %d sublists\n\n",
+		len(tree.Leaves), tree.Delta, len(tree.Sublists()))
+	fmt.Println("paper convention: rightmost bit drawn first, so strings read x…x 0 1^κ;")
+	fmt.Println("column 'string' below shows that orientation; 'sample' is the binary value.")
+	fmt.Println()
+
+	for _, sub := range tree.Sublists() {
+		fmt.Printf("sublist l%d (prefix 1^%d 0, %d leaves):\n", sub.K, sub.K, len(sub.Leaves))
+		for _, lf := range sub.Leaves {
+			// Paper orientation: reverse draw order and left-pad with x.
+			rev := make([]byte, 0, 16)
+			for i := len(lf.Path) - 1; i >= 0; i-- {
+				rev = append(rev, '0'+lf.Path[i])
+			}
+			padded := strings.Repeat("x", 16-len(rev)) + string(rev)
+			fmt.Printf("  %s -> %05b (%d)\n", padded, lf.Value, lf.Value)
+		}
+	}
+}

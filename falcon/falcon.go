@@ -1,0 +1,67 @@
+// Package falcon is the public API of this repository's from-scratch
+// Falcon signature implementation with pluggable discrete Gaussian base
+// samplers — the application study of the DAC 2019 paper (Table 1): the
+// cost of Falcon signing under the constant-time bitsliced sampler versus
+// the CDT-based alternatives.
+//
+//	sk, _ := falcon.Keygen(512, seed)
+//	signer, _ := falcon.NewSigner(sk, falcon.BaseBitsliced, signSeed)
+//	sig, _ := signer.Sign(msg)
+//	err := sk.Public().Verify(msg, sig)
+package falcon
+
+import (
+	ifalcon "ctgauss/internal/falcon"
+)
+
+// Re-exported types: the internal implementation is the single source of
+// truth; this package pins the supported public surface.
+type (
+	// Params is a Falcon parameter set (N ∈ {256, 512, 1024}).
+	Params = ifalcon.Params
+	// PrivateKey is an NTRU trapdoor key with its precomputed Falcon tree.
+	PrivateKey = ifalcon.PrivateKey
+	// PublicKey is h = g·f⁻¹ mod q.
+	PublicKey = ifalcon.PublicKey
+	// Signature is a salt plus the compressed short vector.
+	Signature = ifalcon.Signature
+	// Signer signs messages with a chosen Gaussian base sampler.
+	Signer = ifalcon.Signer
+	// BaseSamplerKind selects the Gaussian base sampler variant.
+	BaseSamplerKind = ifalcon.BaseSamplerKind
+)
+
+// Base sampler variants of the paper's Table 1.
+const (
+	// BaseBitsliced is the paper's constant-time sampler (this work).
+	BaseBitsliced = ifalcon.BaseBitsliced
+	// BaseCDT is the binary-search CDT sampler (non constant-time).
+	BaseCDT = ifalcon.BaseCDT
+	// BaseByteScanCDT is the byte-scanning CDT sampler (non constant-time,
+	// fastest baseline).
+	BaseByteScanCDT = ifalcon.BaseByteScanCDT
+	// BaseLinearCDT is the linear-search constant-time CDT sampler.
+	BaseLinearCDT = ifalcon.BaseLinearCDT
+)
+
+// Q is the Falcon modulus 12289.
+const Q = ifalcon.Q
+
+// ParamsFor returns the parameter set for ring degree n.
+func ParamsFor(n int) (Params, error) { return ifalcon.ParamsFor(n) }
+
+// Keygen generates a key pair for ring degree n ∈ {256, 512, 1024},
+// deterministically from seed.
+func Keygen(n int, seed []byte) (*PrivateKey, error) { return ifalcon.Keygen(n, seed) }
+
+// NewSigner builds a signer using the selected base sampler, seeded
+// deterministically.
+func NewSigner(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Signer, error) {
+	return ifalcon.NewSignerWithKind(sk, kind, seed)
+}
+
+// DecodeSignature parses Signature.Encode output.
+func DecodeSignature(data []byte) (*Signature, error) { return ifalcon.DecodeSignature(data) }
+
+// DecodePublic parses PublicKey.EncodePublic output.
+func DecodePublic(data []byte) (*PublicKey, error) { return ifalcon.DecodePublic(data) }

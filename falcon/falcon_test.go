@@ -1,0 +1,66 @@
+package falcon_test
+
+import (
+	"testing"
+
+	"ctgauss/falcon"
+)
+
+func TestPublicEndToEnd(t *testing.T) {
+	sk, err := falcon.Keygen(256, []byte("public-api-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := falcon.NewSigner(sk, falcon.BaseBitsliced, []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("public api message")
+	sig, err := signer.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := sk.Public()
+	if err := pk.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire round trip through the re-exported codecs.
+	sig2, err := falcon.DecodeSignature(sig.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := falcon.DecodePublic(pk.EncodePublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pk2.Verify(msg, sig2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicParams(t *testing.T) {
+	p, err := falcon.ParamsFor(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level != 3 || p.N != 1024 {
+		t.Fatalf("params: %+v", p)
+	}
+	if _, err := falcon.ParamsFor(333); err == nil {
+		t.Fatal("expected error")
+	}
+	if falcon.Q != 12289 {
+		t.Fatal("Q mismatch")
+	}
+}
+
+func TestPublicAllKindsNamed(t *testing.T) {
+	for _, k := range []falcon.BaseSamplerKind{
+		falcon.BaseBitsliced, falcon.BaseCDT, falcon.BaseByteScanCDT, falcon.BaseLinearCDT,
+	} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package bigfp provides the high-precision real arithmetic needed to
+// compute discrete Gaussian probabilities to an arbitrary number of
+// fractional bits.
+//
+// Discrete Gaussian sampling with cryptographic parameters (the paper uses
+// precision n = 128 bits and tail-cut τ = 13) requires evaluating
+// exp(-x²/2σ²) well beyond float64 precision.  This package implements the
+// elementary pieces on top of math/big: natural exponential for negative
+// arguments, high-precision ln 2 and π, and conversion of a probability in
+// [0,1) to an n-bit fixed-point bit row of the Knuth-Yao probability matrix.
+package bigfp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Ln2 returns ln 2 computed to at least prec bits of precision using the
+// series ln 2 = Σ_{k≥1} 1/(k·2^k), which gains one bit per term.
+func Ln2(prec uint) *big.Float {
+	// Work with guard bits so the truncated tail cannot disturb the
+	// requested precision.
+	wp := prec + 32
+	sum := new(big.Float).SetPrec(wp)
+	term := new(big.Float).SetPrec(wp)
+	den := new(big.Float).SetPrec(wp)
+	two := big.NewFloat(2).SetPrec(wp)
+	pow := new(big.Float).SetPrec(wp).SetInt64(1)
+	for k := int64(1); ; k++ {
+		pow.Quo(pow, two) // 2^-k
+		den.SetInt64(k)
+		term.Quo(pow, den)
+		sum.Add(sum, term)
+		if term.MantExp(nil) < -int(wp) {
+			break
+		}
+	}
+	return sum.SetPrec(prec)
+}
+
+// ExpNeg returns e^(-t) for t ≥ 0, computed to at least prec bits.
+// It panics if t < 0.
+//
+// The argument is reduced as t = k·ln2 + r with r ∈ [0, ln2), so that
+// e^(-t) = 2^(-k) · e^(-r), and e^(-r) is evaluated with a Taylor series
+// whose terms shrink at least geometrically.
+func ExpNeg(t *big.Float, prec uint) *big.Float {
+	if t.Sign() < 0 {
+		panic("bigfp: ExpNeg requires t >= 0")
+	}
+	if t.Sign() == 0 {
+		return big.NewFloat(1).SetPrec(prec)
+	}
+	wp := prec + 64
+	ln2 := Ln2(wp)
+
+	// k = floor(t / ln2)
+	q := new(big.Float).SetPrec(wp).Quo(t, ln2)
+	kInt, _ := q.Int(nil)
+	k := kInt.Int64()
+
+	// r = t - k*ln2, guaranteed in [0, ln2) up to rounding.
+	kf := new(big.Float).SetPrec(wp).SetInt(kInt)
+	r := new(big.Float).SetPrec(wp).Mul(kf, ln2)
+	r.Sub(t, r)
+	if r.Sign() < 0 {
+		// Rounding may leave r slightly negative; nudge back one step.
+		r.Add(r, ln2)
+		k--
+	}
+
+	// Taylor: e^(-r) = Σ (-r)^m / m!
+	sum := new(big.Float).SetPrec(wp).SetInt64(1)
+	term := new(big.Float).SetPrec(wp).SetInt64(1)
+	mf := new(big.Float).SetPrec(wp)
+	for m := int64(1); ; m++ {
+		term.Mul(term, r)
+		mf.SetInt64(m)
+		term.Quo(term, mf)
+		if m%2 == 1 {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		if term.Sign() == 0 || term.MantExp(nil) < -int(wp) {
+			break
+		}
+	}
+
+	// Scale by 2^-k.
+	// SetMantExp(z, e) computes z·2^e, so this is sum·2^-k.
+	res := new(big.Float).SetPrec(wp).SetMantExp(sum, -int(k))
+	return res.SetPrec(prec)
+}
+
+// Gauss returns ρ_σ(x) = exp(-x²/(2σ²)) to prec bits, for x ≥ 0.
+func Gauss(x int64, sigma *big.Float, prec uint) *big.Float {
+	wp := prec + 64
+	xf := new(big.Float).SetPrec(wp).SetInt64(x)
+	num := new(big.Float).SetPrec(wp).Mul(xf, xf)
+	den := new(big.Float).SetPrec(wp).Mul(sigma, sigma)
+	den.Mul(den, big.NewFloat(2).SetPrec(wp))
+	arg := new(big.Float).SetPrec(wp).Quo(num, den)
+	return ExpNeg(arg, prec)
+}
+
+// FracBits truncates p ∈ [0, 1] to n fractional bits and returns them
+// most-significant first: bits[0] has weight 2^-1.  Values ≥ 1 are clamped
+// to all-ones (this can only happen for p exactly 1 up to rounding).
+func FracBits(p *big.Float, n int) []byte {
+	if p.Sign() < 0 {
+		panic("bigfp: FracBits requires p >= 0")
+	}
+	bits := make([]byte, n)
+	one := big.NewFloat(1).SetPrec(p.Prec())
+	if p.Cmp(one) >= 0 {
+		for i := range bits {
+			bits[i] = 1
+		}
+		return bits
+	}
+	// Scale by 2^n and truncate to an integer, then read its bits.
+	scaled := new(big.Float).SetPrec(p.Prec()+uint(n)).SetMantExp(p, n)
+	z, _ := scaled.Int(nil)
+	for i := 0; i < n; i++ {
+		// bit with weight 2^-(i+1) is bit (n-1-i) of z.
+		bits[i] = byte(z.Bit(n - 1 - i))
+	}
+	return bits
+}
+
+// FixedFromFloat converts p ∈ [0,1) to an n-bit fixed-point integer
+// floor(p·2^n).
+func FixedFromFloat(p *big.Float, n int) *big.Int {
+	scaled := new(big.Float).SetPrec(p.Prec()+uint(n)).SetMantExp(p, n)
+	z, _ := scaled.Int(nil)
+	if z.Sign() < 0 {
+		panic("bigfp: negative probability")
+	}
+	return z
+}
+
+// ParseSigma parses a decimal standard deviation (e.g. "6.15543") into a
+// big.Float with prec bits.  It returns an error for malformed input or
+// non-positive values.
+func ParseSigma(s string, prec uint) (*big.Float, error) {
+	f, _, err := big.ParseFloat(s, 10, prec, big.ToNearestEven)
+	if err != nil {
+		return nil, fmt.Errorf("bigfp: parse sigma %q: %w", s, err)
+	}
+	if f.Sign() <= 0 {
+		return nil, fmt.Errorf("bigfp: sigma must be positive, got %q", s)
+	}
+	return f, nil
+}

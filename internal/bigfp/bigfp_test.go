@@ -1,0 +1,165 @@
+package bigfp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestLn2MatchesFloat64(t *testing.T) {
+	got, _ := Ln2(64).Float64()
+	if math.Abs(got-math.Ln2) > 1e-15 {
+		t.Fatalf("Ln2 = %v, want %v", got, math.Ln2)
+	}
+}
+
+func TestLn2HighPrecisionStable(t *testing.T) {
+	// The first 192 bits of ln2 at 256-bit precision must agree with the
+	// 192-bit computation: increasing precision must not change leading bits.
+	a := Ln2(192)
+	b := Ln2(256).SetPrec(192)
+	diff := new(big.Float).Sub(a, b)
+	if diff.Sign() != 0 && diff.MantExp(nil) > -190 {
+		t.Fatalf("Ln2 unstable across precisions: diff exponent %d", diff.MantExp(nil))
+	}
+}
+
+func TestExpNegMatchesFloat64(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 3.7, 10, 25.25, 50} {
+		arg := new(big.Float).SetPrec(96).SetFloat64(x)
+		got, _ := ExpNeg(arg, 96).Float64()
+		want := math.Exp(-x)
+		if math.Abs(got-want) > 1e-14*math.Max(want, 1e-300) && math.Abs(got-want) > 1e-300 {
+			t.Errorf("ExpNeg(%v) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestExpNegZero(t *testing.T) {
+	got, _ := ExpNeg(big.NewFloat(0), 64).Float64()
+	if got != 1 {
+		t.Fatalf("ExpNeg(0) = %v, want 1", got)
+	}
+}
+
+func TestExpNegPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative argument")
+		}
+	}()
+	ExpNeg(big.NewFloat(-1), 64)
+}
+
+func TestExpNegMultiplicative(t *testing.T) {
+	// e^-(a+b) == e^-a * e^-b (property check at high precision).
+	f := func(a8, b8 uint8) bool {
+		a := float64(a8%32) / 4
+		b := float64(b8%32) / 4
+		prec := uint(128)
+		fa := new(big.Float).SetPrec(prec).SetFloat64(a)
+		fb := new(big.Float).SetPrec(prec).SetFloat64(b)
+		fab := new(big.Float).SetPrec(prec).Add(fa, fb)
+		lhs := ExpNeg(fab, prec)
+		rhs := new(big.Float).SetPrec(prec).Mul(ExpNeg(fa, prec), ExpNeg(fb, prec))
+		diff := new(big.Float).Sub(lhs, rhs)
+		if diff.Sign() == 0 {
+			return true
+		}
+		// Relative error must be below 2^-100.
+		return diff.MantExp(nil)-lhs.MantExp(nil) < -100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussMatchesFloat64(t *testing.T) {
+	sigma := big.NewFloat(2).SetPrec(96)
+	for x := int64(0); x <= 20; x++ {
+		got, _ := Gauss(x, sigma, 96).Float64()
+		want := math.Exp(-float64(x*x) / 8)
+		if math.Abs(got-want) > 1e-13 {
+			t.Errorf("Gauss(%d, σ=2) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestFracBitsKnownValues(t *testing.T) {
+	// 0.5 -> 100...0 ; 0.25 -> 0100... ; 0.75 -> 1100...
+	cases := []struct {
+		p    float64
+		want []byte
+	}{
+		{0.5, []byte{1, 0, 0, 0}},
+		{0.25, []byte{0, 1, 0, 0}},
+		{0.75, []byte{1, 1, 0, 0}},
+		{0.8125, []byte{1, 1, 0, 1}},
+		{0, []byte{0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		got := FracBits(new(big.Float).SetPrec(64).SetFloat64(c.p), 4)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("FracBits(%v) = %v, want %v", c.p, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFracBitsClampAtOne(t *testing.T) {
+	got := FracBits(big.NewFloat(1), 5)
+	for i, b := range got {
+		if b != 1 {
+			t.Fatalf("bit %d = %d, want 1", i, b)
+		}
+	}
+}
+
+func TestFracBitsRoundTrip(t *testing.T) {
+	// Reassembling the bits must reproduce floor(p*2^n)/2^n.
+	f := func(u uint32) bool {
+		p := float64(u) / float64(1<<32)
+		n := 24
+		bits := FracBits(new(big.Float).SetPrec(64).SetFloat64(p), n)
+		var acc float64
+		w := 0.5
+		for _, b := range bits {
+			if b == 1 {
+				acc += w
+			}
+			w /= 2
+		}
+		return math.Abs(acc-p) < 1.0/float64(int64(1)<<uint(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedFromFloat(t *testing.T) {
+	p := new(big.Float).SetPrec(64).SetFloat64(0.625)
+	z := FixedFromFloat(p, 8)
+	if z.Int64() != 160 { // 0.625 * 256
+		t.Fatalf("FixedFromFloat(0.625, 8) = %v, want 160", z)
+	}
+}
+
+func TestParseSigma(t *testing.T) {
+	s, err := ParseSigma("6.15543", 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.Float64()
+	if math.Abs(f-6.15543) > 1e-12 {
+		t.Fatalf("ParseSigma = %v", f)
+	}
+	if _, err := ParseSigma("-1", 64); err == nil {
+		t.Fatal("expected error for negative sigma")
+	}
+	if _, err := ParseSigma("abc", 64); err == nil {
+		t.Fatal("expected error for malformed sigma")
+	}
+}

@@ -1,0 +1,256 @@
+package bitslice
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ctgauss/internal/boolmin"
+)
+
+// xorSOP builds the 2-cube SOP for a XOR b over 2 vars.
+func xorSOP() boolmin.SOP {
+	return boolmin.SOP{NVars: 2, Cubes: []boolmin.Cube{
+		{Value: 0b01, Mask: 0b11},
+		{Value: 0b10, Mask: 0b11},
+	}}
+}
+
+func TestCompileMuxTwoSublists(t *testing.T) {
+	// Sublist 0 (prefix "0"): value = payload bit0 XOR bit1 (2 bits payload).
+	// Sublist 1 (prefix "10"): value = 1 always.
+	subs := []SublistFuncs{
+		{K: 0, SOPs: []boolmin.SOP{xorSOP()}},
+		{K: 1, SOPs: []boolmin.SOP{{NVars: 2, Cubes: []boolmin.Cube{{Value: 0, Mask: 0}}}}},
+	}
+	p, err := CompileMux(subs, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInputs != 4 { // maxK + delta + 1 = 1+2+1
+		t.Fatalf("NumInputs = %d", p.NumInputs)
+	}
+	// Scalar reference over every 4-bit input assignment, replicated in
+	// one lane.
+	for a := uint64(0); a < 16; a++ {
+		in := make([]uint64, 4)
+		for i := 0; i < 4; i++ {
+			if a&(1<<uint(i)) != 0 {
+				in[i] = 1 // lane 0
+			}
+		}
+		out := p.Run(in, nil)
+		got := out[0] & 1
+		var want uint64
+		b0, b1, b2, b3 := a&1, (a>>1)&1, (a>>2)&1, (a>>3)&1
+		switch {
+		case b0 == 0: // sublist 0, payload = b1,b2
+			want = b1 ^ b2
+		case b1 == 0: // sublist 1, constant 1
+			want = 1
+		default:
+			want = 0
+			_ = b3
+		}
+		if got != want {
+			t.Fatalf("assignment %04b: got %d want %d", a, got, want)
+		}
+	}
+}
+
+func TestRunAllLanesIndependent(t *testing.T) {
+	subs := []SublistFuncs{
+		{K: 0, SOPs: []boolmin.SOP{xorSOP()}},
+	}
+	p, err := CompileMux(subs, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(w0, w1, w2 uint64) bool {
+		in := []uint64{w0, w1, w2}
+		out := p.Run(in, nil)
+		for l := 0; l < 64; l++ {
+			b0 := (w0 >> uint(l)) & 1
+			b1 := (w1 >> uint(l)) & 1
+			b2 := (w2 >> uint(l)) & 1
+			var want uint64
+			if b0 == 0 {
+				want = b1 ^ b2
+			}
+			if (out[0]>>uint(l))&1 != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIntoMatchesRun(t *testing.T) {
+	subs := []SublistFuncs{
+		{K: 0, SOPs: []boolmin.SOP{xorSOP(), {NVars: 2}}},
+		{K: 2, SOPs: []boolmin.SOP{
+			{NVars: 2, Cubes: []boolmin.Cube{{Value: 1, Mask: 1}}},
+			{NVars: 2, Cubes: []boolmin.Cube{{Value: 0, Mask: 0}}},
+		}},
+	}
+	p, err := CompileMux(subs, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in := make([]uint64, p.NumInputs)
+	regs := make([]uint64, p.NumRegs)
+	out2 := make([]uint64, len(p.Outputs))
+	for trial := 0; trial < 50; trial++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		out1 := p.Run(in, nil)
+		p.RunInto(in, regs, out2)
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatalf("RunInto diverges at word %d", i)
+			}
+		}
+	}
+}
+
+func TestCompileFlatEquivalence(t *testing.T) {
+	// Flat program over 5 inputs: bit0 = cube(b0=1,b3=0), bit1 = cube(b4=1).
+	c0 := boolmin.NewWideCube(5)
+	c0.SetLiteral(0, 1)
+	c0.SetLiteral(3, 0)
+	c1 := boolmin.NewWideCube(5)
+	c1.SetLiteral(4, 1)
+	p, err := CompileFlat([][]boolmin.WideCube{{c0}, {c1}}, 5, 2, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 32; a++ {
+		in := make([]uint64, 5)
+		for i := 0; i < 5; i++ {
+			if a&(1<<uint(i)) != 0 {
+				in[i] = ^uint64(0) // all lanes
+			}
+		}
+		out := p.Run(in, nil)
+		want0 := a&1 != 0 && a&8 == 0
+		want1 := a&16 != 0
+		if (out[0]&1 != 0) != want0 || (out[1]&1 != 0) != want1 {
+			t.Fatalf("assignment %05b: out=%v", a, out)
+		}
+		// Every lane identical since inputs replicated.
+		if out[0] != 0 && out[0] != ^uint64(0) {
+			t.Fatalf("lanes disagree")
+		}
+	}
+}
+
+func TestUnpack(t *testing.T) {
+	out := []uint64{0b10, 0b11} // lane1: bit0=1,bit1=1 → 3; lane0: bit0=0,bit1=1 → 2
+	if v := Unpack(out, 1); v != 3 {
+		t.Fatalf("lane1 = %d, want 3", v)
+	}
+	if v := Unpack(out, 0); v != 2 {
+		t.Fatalf("lane0 = %d, want 2", v)
+	}
+	dst := make([]int, 64)
+	UnpackAll(out, dst)
+	if dst[0] != 2 || dst[1] != 3 || dst[2] != 0 {
+		t.Fatalf("UnpackAll = %v", dst[:3])
+	}
+}
+
+func TestCSEReusesRegisters(t *testing.T) {
+	// Two identical SOPs in a sublist should share all gates.
+	s := xorSOP()
+	subs := []SublistFuncs{{K: 0, SOPs: []boolmin.SOP{s, s}}}
+	p, err := CompileMux(subs, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := CompileMux([]SublistFuncs{{K: 0, SOPs: []boolmin.SOP{s}}}, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-output program must cost at most a couple of extra OR/AND ops.
+	if p.OpCount() > single.OpCount()+3 {
+		t.Fatalf("CSE failed: %d vs %d ops", p.OpCount(), single.OpCount())
+	}
+}
+
+func TestEmitGoCompilableShape(t *testing.T) {
+	subs := []SublistFuncs{
+		{K: 0, SOPs: []boolmin.SOP{xorSOP()}},
+		{K: 1, SOPs: []boolmin.SOP{{NVars: 2, Cubes: []boolmin.Cube{{Value: 0, Mask: 0}}}}},
+	}
+	p, err := CompileMux(subs, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := p.EmitGo("sampler", "Sample64")
+	for _, want := range []string{
+		"package sampler",
+		"func Sample64(in, out []uint64)",
+		"out[0] =",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated source missing %q:\n%s", want, src)
+		}
+	}
+	// No instruction may appear after the outputs; every declared r must be
+	// referenced at least twice (declaration + use) — approximated by
+	// checking no line declares a variable that never recurs.
+	lines := strings.Split(src, "\n")
+	for _, ln := range lines {
+		ln = strings.TrimSpace(ln)
+		if !strings.HasPrefix(ln, "r") || !strings.Contains(ln, ":=") {
+			continue
+		}
+		name := strings.SplitN(ln, " ", 2)[0]
+		if strings.Count(src, name+" ")+strings.Count(src, name+")")+strings.Count(src, name+"\n") < 2 {
+			t.Fatalf("generated variable %s appears unused:\n%s", name, src)
+		}
+	}
+}
+
+func TestProgramRejectsWrongInputCount(t *testing.T) {
+	p, _ := CompileMux([]SublistFuncs{{K: 0, SOPs: []boolmin.SOP{xorSOP()}}}, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Run(make([]uint64, 1), nil)
+}
+
+func TestCompileMuxValidation(t *testing.T) {
+	if _, err := CompileMux(nil, 2, 1, 1); err == nil {
+		t.Fatal("expected error for no sublists")
+	}
+	bad := []SublistFuncs{{K: 0, SOPs: []boolmin.SOP{xorSOP()}}}
+	if _, err := CompileMux(bad, 2, 2, 1); err == nil {
+		t.Fatal("expected error for SOP/valueBits mismatch")
+	}
+}
+
+func TestCompileFlatValidation(t *testing.T) {
+	if _, err := CompileFlat(nil, 4, 1, 1, false); err == nil {
+		t.Fatal("expected error for bit-count mismatch")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := OpAnd; op <= OpOnes; op++ {
+		if op.String() == "?" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if Op(200).String() != "?" {
+		t.Fatal("unknown op should render ?")
+	}
+}

@@ -1,0 +1,186 @@
+package bitslice
+
+import (
+	"fmt"
+
+	"ctgauss/internal/boolmin"
+)
+
+// SublistFuncs is the minimized Boolean functions f^{ι,κ}_Δ of one sublist
+// l_κ: for each output bit ι an SOP over the Δ payload variables.  Payload
+// variable v corresponds to global input bit b_{κ+1+v} (draw order).
+type SublistFuncs struct {
+	K    int
+	SOPs []boolmin.SOP // index ι = output bit, LSB first
+}
+
+// CompileMux builds the paper's Eqn-2 sampler: per-sublist minimized
+// functions stitched together with the constant-time selector chain
+//
+//	c_κ = b₀ & b₁ & … & b_{κ-1} & ¬b_κ
+//	out_ι = OR_κ ( c_κ & f^{ι,κ}_Δ(b_{κ+1..κ+Δ}) )
+//
+// The selectors are mutually exclusive, so the if-elseif chain of Eqn 2
+// reduces to this OR-of-ANDs form with a shared running prefix.
+//
+// numInputs must be at least maxK + Δ + 1; valueBits is the number of
+// output magnitude bits m.
+func CompileMux(subs []SublistFuncs, delta, valueBits, maxSupport int) (*Program, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("bitslice: no sublists")
+	}
+	maxK := 0
+	for _, s := range subs {
+		if s.K > maxK {
+			maxK = s.K
+		}
+		if len(s.SOPs) != valueBits {
+			return nil, fmt.Errorf("bitslice: sublist %d has %d SOPs, want %d", s.K, len(s.SOPs), valueBits)
+		}
+	}
+	numInputs := maxK + delta + 1
+	b := newBuilder(numInputs, true)
+	p := b.p
+	p.ValueBits = valueBits
+	p.MaxSupport = maxSupport
+
+	outs := make([]int, valueBits)
+	for i := range outs {
+		outs[i] = b.zero()
+	}
+
+	bySublist := make(map[int]*SublistFuncs, len(subs))
+	for i := range subs {
+		bySublist[subs[i].K] = &subs[i]
+	}
+
+	prefix := b.ones()
+	for k := 0; k <= maxK; k++ {
+		if sf, ok := bySublist[k]; ok {
+			sel := b.andNot(prefix, k) // prefix & ^b_k
+			for iota_, sop := range sf.SOPs {
+				f := b.compileSOP(sop, k+1)
+				if f >= 0 {
+					outs[iota_] = b.or(outs[iota_], b.and(sel, f))
+				}
+			}
+		}
+		if k < maxK {
+			prefix = b.and(prefix, k) // prefix &= b_k
+		}
+	}
+	p.Outputs = outs
+	return p, nil
+}
+
+// compileSOP emits an SOP whose local variable v maps to global input
+// base+v.  It returns the register holding the result, or -1 when the SOP
+// is empty (constant false).
+func (b *builder) compileSOP(s boolmin.SOP, base int) int {
+	if len(s.Cubes) == 0 {
+		return -1
+	}
+	acc := -1
+	for _, c := range s.Cubes {
+		term := b.compileCube(c, s.NVars, base)
+		if acc < 0 {
+			acc = term
+		} else {
+			acc = b.or(acc, term)
+		}
+	}
+	return acc
+}
+
+// compileCube emits the AND of a cube's literals.  An empty cube (tautology)
+// yields the all-ones register.
+func (b *builder) compileCube(c boolmin.Cube, nvars, base int) int {
+	acc := -1
+	for v := 0; v < nvars; v++ {
+		bit := uint64(1) << uint(v)
+		if c.Mask&bit == 0 {
+			continue
+		}
+		in := base + v
+		if in >= b.p.NumInputs {
+			panic(fmt.Sprintf("bitslice: cube references input %d beyond %d", in, b.p.NumInputs))
+		}
+		if c.Value&bit != 0 {
+			if acc < 0 {
+				acc = in
+			} else {
+				acc = b.and(acc, in)
+			}
+		} else {
+			if acc < 0 {
+				acc = b.not(in)
+			} else {
+				acc = b.andNot(acc, in)
+			}
+		}
+	}
+	if acc < 0 {
+		return b.ones()
+	}
+	return acc
+}
+
+// CompileFlat builds the baseline evaluator of [21]: every output bit is a
+// flat OR over full-width cubes (one per surviving leaf after the naive
+// merge).  Cube variable i is global input bit i.
+//
+// cse controls whether product terms may share sub-products.  The honest
+// model of the prior work's two-level evaluation is cse=false (each
+// minimized term computed independently, complements shared); cse=true is
+// the ablation showing how much of the paper's win is systematic prefix
+// sharing rather than minimization.
+func CompileFlat(cubesPerBit [][]boolmin.WideCube, numInputs, valueBits, maxSupport int, cse bool) (*Program, error) {
+	if len(cubesPerBit) != valueBits {
+		return nil, fmt.Errorf("bitslice: got %d bit lists, want %d", len(cubesPerBit), valueBits)
+	}
+	b := newBuilder(numInputs, cse)
+	p := b.p
+	p.ValueBits = valueBits
+	p.MaxSupport = maxSupport
+	outs := make([]int, valueBits)
+	for i := range outs {
+		outs[i] = b.zero()
+	}
+	for iota_, cubes := range cubesPerBit {
+		for _, c := range cubes {
+			term := b.compileWideCube(c, numInputs)
+			if term >= 0 {
+				outs[iota_] = b.or(outs[iota_], term)
+			}
+		}
+	}
+	p.Outputs = outs
+	return p, nil
+}
+
+func (b *builder) compileWideCube(c boolmin.WideCube, numInputs int) int {
+	acc := -1
+	for v := 0; v < numInputs; v++ {
+		w, bit := v/64, uint64(1)<<uint(v%64)
+		if w >= len(c.Mask) || c.Mask[w]&bit == 0 {
+			continue
+		}
+		if c.Value[w]&bit != 0 {
+			if acc < 0 {
+				acc = v
+			} else {
+				acc = b.and(acc, v)
+			}
+		} else {
+			if acc < 0 {
+				acc = b.not(v)
+			} else {
+				acc = b.andNot(acc, v)
+			}
+		}
+	}
+	if acc < 0 {
+		return b.ones()
+	}
+	return acc
+}

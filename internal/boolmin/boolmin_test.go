@@ -1,0 +1,298 @@
+package boolmin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeCovers(t *testing.T) {
+	c := Cube{Value: 0b101, Mask: 0b111}
+	if !c.Covers(0b101) {
+		t.Fatal("cube must cover its own minterm")
+	}
+	if c.Covers(0b100) {
+		t.Fatal("cube must not cover differing minterm")
+	}
+	free := Cube{Value: 0b100, Mask: 0b100}
+	if !free.Covers(0b110) || !free.Covers(0b101) {
+		t.Fatal("don't-care bits must be ignored")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	gen := Cube{Value: 0b10, Mask: 0b10}    // x1
+	spec := Cube{Value: 0b110, Mask: 0b110} // x2 & x1
+	if !gen.Contains(spec) {
+		t.Fatal("general cube should contain specific")
+	}
+	if spec.Contains(gen) {
+		t.Fatal("specific cube should not contain general")
+	}
+}
+
+func TestMergeDistance1(t *testing.T) {
+	a := Cube{Value: 0b000, Mask: 0b111}
+	b := Cube{Value: 0b100, Mask: 0b111}
+	m, ok := mergeDistance1(a, b)
+	if !ok || m.Mask != 0b011 || m.Value != 0 {
+		t.Fatalf("merge = %+v ok=%v", m, ok)
+	}
+	if _, ok := mergeDistance1(a, Cube{Value: 0b110, Mask: 0b111}); ok {
+		t.Fatal("distance-2 cubes must not merge")
+	}
+	if _, ok := mergeDistance1(a, Cube{Value: 0b000, Mask: 0b011}); ok {
+		t.Fatal("different masks must not merge")
+	}
+}
+
+func ttFromFunc(nvars int, f func(uint64) OutVal) *TruthTable {
+	t := NewTruthTable(nvars)
+	for a := range t.Out {
+		t.Out[a] = f(uint64(a))
+	}
+	return t
+}
+
+func TestMinimizeXor(t *testing.T) {
+	// XOR has no don't-cares and needs exactly 2^(n-1) cubes.
+	tt := ttFromFunc(3, func(a uint64) OutVal {
+		if popcount32(uint32(a))%2 == 1 {
+			return One
+		}
+		return Zero
+	})
+	s := MinimizeExact(tt)
+	if !tt.Equivalent(s) {
+		t.Fatal("minimized SOP not equivalent")
+	}
+	if len(s.Cubes) != 4 {
+		t.Fatalf("3-var XOR needs 4 cubes, got %d", len(s.Cubes))
+	}
+}
+
+func TestMinimizeClassicExample(t *testing.T) {
+	// f = Σm(0,1,2,5,6,7) over 3 vars minimizes to 2-cube... the classic
+	// answer is 3 cubes: x'y' + yz' ... actually Σm(0,1,2,5,6,7):
+	// known minimal: x'y' + xz + yz'  (3 cubes). Verify count and equivalence.
+	on := map[uint64]bool{0: true, 1: true, 2: true, 5: true, 6: true, 7: true}
+	tt := ttFromFunc(3, func(a uint64) OutVal {
+		if on[a] {
+			return One
+		}
+		return Zero
+	})
+	s := MinimizeExact(tt)
+	if !tt.Equivalent(s) {
+		t.Fatal("not equivalent")
+	}
+	if len(s.Cubes) != 3 {
+		t.Fatalf("want 3 cubes, got %d: %s", len(s.Cubes), s.String())
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// Seven-segment style: f = Σm(1,3) with DC(5,7) over 3 vars minimizes
+	// to a single literal cube (z, i.e. bit0), because DCs complete it.
+	tt := ttFromFunc(3, func(a uint64) OutVal {
+		switch a {
+		case 1, 3:
+			return One
+		case 5, 7:
+			return DC
+		default:
+			return Zero
+		}
+	})
+	s := MinimizeExact(tt)
+	if !tt.Equivalent(s) {
+		t.Fatal("not equivalent")
+	}
+	if len(s.Cubes) != 1 || s.Cubes[0].Literals(3) != 1 {
+		t.Fatalf("want single 1-literal cube, got %s", s.String())
+	}
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	allOne := ttFromFunc(2, func(uint64) OutVal { return One })
+	s := MinimizeExact(allOne)
+	if len(s.Cubes) != 1 || s.Cubes[0].Mask != 0 {
+		t.Fatalf("constant-1 should be one empty cube, got %s", s.String())
+	}
+	allZero := ttFromFunc(2, func(uint64) OutVal { return Zero })
+	if s := MinimizeExact(allZero); len(s.Cubes) != 0 {
+		t.Fatalf("constant-0 should be empty SOP")
+	}
+}
+
+func TestMinimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		nv := 2 + rng.Intn(5) // 2..6 vars
+		tt := NewTruthTable(nv)
+		for a := range tt.Out {
+			switch rng.Intn(3) {
+			case 0:
+				tt.Out[a] = Zero
+			case 1:
+				tt.Out[a] = One
+			default:
+				tt.Out[a] = DC
+			}
+		}
+		exact := MinimizeExact(tt)
+		greedy := MinimizeGreedy(tt)
+		if !tt.Equivalent(exact) {
+			t.Fatalf("trial %d: exact SOP wrong", trial)
+		}
+		if !tt.Equivalent(greedy) {
+			t.Fatalf("trial %d: greedy SOP wrong", trial)
+		}
+		if len(exact.Cubes) > len(greedy.Cubes) {
+			t.Fatalf("trial %d: exact (%d cubes) worse than greedy (%d)",
+				trial, len(exact.Cubes), len(greedy.Cubes))
+		}
+	}
+}
+
+func TestPrimeImplicantsAreImplicants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := NewTruthTable(4)
+		for a := range tt.Out {
+			tt.Out[a] = OutVal(rng.Intn(3))
+		}
+		for _, p := range PrimeImplicants(tt) {
+			// Every assignment covered by p must be ON or DC.
+			for a := uint64(0); a < 16; a++ {
+				if p.Covers(a) && tt.Out[a] == Zero {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWideCubeBasics(t *testing.T) {
+	c := NewWideCube(130)
+	c.SetLiteral(0, 1)
+	c.SetLiteral(129, 0)
+	assign := make([]uint64, 3)
+	assign[0] = 1
+	if !c.Covers(assign) {
+		t.Fatal("should cover")
+	}
+	assign[2] = 1 << 1 // variable 129 set to 1
+	if c.Covers(assign) {
+		t.Fatal("should not cover when literal 129 mismatches")
+	}
+	if c.Literals() != 2 {
+		t.Fatalf("literals = %d", c.Literals())
+	}
+}
+
+func TestWideCubeString(t *testing.T) {
+	c := NewWideCube(4)
+	c.SetLiteral(0, 1)
+	c.SetLiteral(2, 0)
+	if s := c.String(4); s != "1-0-" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTryMergeWide(t *testing.T) {
+	a := NewWideCube(70)
+	b := NewWideCube(70)
+	for i := 0; i < 70; i++ {
+		a.SetLiteral(i, 0)
+		b.SetLiteral(i, 0)
+	}
+	b.SetLiteral(69, 1)
+	m, ok := tryMergeWide(a, b)
+	if !ok {
+		t.Fatal("expected merge")
+	}
+	if m.Mask[1]&(1<<5) != 0 {
+		t.Fatal("merged variable 69 should be dropped")
+	}
+	// Two-bit difference must not merge.
+	b.SetLiteral(0, 1)
+	if _, ok := tryMergeWide(a, b); ok {
+		t.Fatal("distance-2 wide cubes must not merge")
+	}
+}
+
+func TestSimplifyWidePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nvars := 10
+	var cubes []WideCube
+	for i := 0; i < 30; i++ {
+		c := NewWideCube(nvars)
+		for v := 0; v < nvars; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.SetLiteral(v, 0)
+			case 1:
+				c.SetLiteral(v, 1)
+			}
+		}
+		cubes = append(cubes, c)
+	}
+	simp := SimplifyWide(cubes)
+	if len(simp) > len(cubes) {
+		t.Fatalf("simplify grew the list: %d -> %d", len(cubes), len(simp))
+	}
+	evalList := func(cs []WideCube, a uint64) bool {
+		assign := []uint64{a}
+		for _, c := range cs {
+			if c.Covers(assign) {
+				return true
+			}
+		}
+		return false
+	}
+	for a := uint64(0); a < 1<<uint(nvars); a++ {
+		if evalList(cubes, a) != evalList(simp, a) {
+			t.Fatalf("semantics changed at assignment %b", a)
+		}
+	}
+}
+
+func TestSOPLiteralsAndString(t *testing.T) {
+	s := SOP{NVars: 3, Cubes: []Cube{{Value: 0b101, Mask: 0b101}, {Value: 0, Mask: 0b010}}}
+	if s.Literals() != 3 {
+		t.Fatalf("Literals = %d", s.Literals())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMinimizePetrickBeatsNaive(t *testing.T) {
+	// A function where greedy can pick a suboptimal cover: cyclic cover
+	// structure (the classic cyclic PI table: Σm(0,1,2,5,6,7) again is
+	// cyclic). Petrick must return a 3-cube cover.
+	on := map[uint64]bool{0: true, 1: true, 2: true, 5: true, 6: true, 7: true}
+	tt := ttFromFunc(3, func(a uint64) OutVal {
+		if on[a] {
+			return One
+		}
+		return Zero
+	})
+	if s := MinimizeExact(tt); len(s.Cubes) != 3 {
+		t.Fatalf("cyclic cover: want 3 cubes, got %d", len(s.Cubes))
+	}
+}
+
+func TestNewTruthTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 21 vars")
+		}
+	}()
+	NewTruthTable(21)
+}

@@ -1,0 +1,178 @@
+// Package boolmin implements two-level Boolean minimization for the
+// sampler-generation pipeline: a cube (product-term) algebra, exact
+// Quine-McCluskey prime-implicant generation with don't-cares, exact
+// minimum cover via Petrick's method for small instances with a greedy
+// set-cover fallback, and the naive merge heuristic that stands in for the
+// "simple minimization" baseline of the prior work [21].
+//
+// The paper minimizes each per-sublist function f^{ι,κ}_Δ exactly with
+// Espresso (-Dso -S1); Δ ≤ 6 for every σ in the evaluation, so exact
+// minimization is cheap here too.
+package boolmin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cube is a product term over up to 64 variables.  A variable i is part of
+// the term when Mask bit i is set; its required polarity is Value bit i.
+// Bits outside Mask are don't-care within the cube.
+type Cube struct {
+	Value uint64 // polarities for variables in Mask
+	Mask  uint64 // which variables the cube tests
+}
+
+// Covers reports whether the cube evaluates true on the given assignment.
+func (c Cube) Covers(assign uint64) bool {
+	return (assign^c.Value)&c.Mask == 0
+}
+
+// Contains reports whether c covers every assignment that d covers
+// (c is equal or more general than d).
+func (c Cube) Contains(d Cube) bool {
+	// c's tested variables must be a subset of d's, and agree on polarity.
+	if c.Mask&^d.Mask != 0 {
+		return false
+	}
+	return (c.Value^d.Value)&c.Mask == 0
+}
+
+// Literals returns the number of literals (tested variables) in the cube.
+func (c Cube) Literals(nvars int) int {
+	m := c.Mask
+	if nvars < 64 {
+		m &= (1 << uint(nvars)) - 1
+	}
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the cube over nvars variables, most significant variable
+// first, using 0/1/- notation (PLA style).
+func (c Cube) String(nvars int) string {
+	var b strings.Builder
+	for i := nvars - 1; i >= 0; i-- {
+		switch {
+		case c.Mask&(1<<uint(i)) == 0:
+			b.WriteByte('-')
+		case c.Value&(1<<uint(i)) != 0:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// mergeDistance1 attempts the Quine-McCluskey merge: if the cubes test the
+// same variables and differ in exactly one polarity, the merged cube drops
+// that variable.
+func mergeDistance1(a, b Cube) (Cube, bool) {
+	if a.Mask != b.Mask {
+		return Cube{}, false
+	}
+	diff := a.Value ^ b.Value
+	if diff == 0 || diff&(diff-1) != 0 {
+		return Cube{}, false
+	}
+	return Cube{Value: a.Value &^ diff, Mask: a.Mask &^ diff}, true
+}
+
+// SOP is a sum-of-products: the function is the OR of its cubes.
+type SOP struct {
+	NVars int
+	Cubes []Cube
+}
+
+// Eval evaluates the SOP on a single assignment.
+func (s SOP) Eval(assign uint64) bool {
+	for _, c := range s.Cubes {
+		if c.Covers(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// Literals returns the total literal count (the paper's gate-cost proxy).
+func (s SOP) Literals() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.Literals(s.NVars)
+	}
+	return n
+}
+
+// String renders the SOP in PLA-like rows.
+func (s SOP) String() string {
+	rows := make([]string, len(s.Cubes))
+	for i, c := range s.Cubes {
+		rows[i] = c.String(s.NVars)
+	}
+	return strings.Join(rows, " + ")
+}
+
+// TruthTable is a fully-enumerated function over NVars ≤ 20 variables with
+// three-valued outputs.
+type TruthTable struct {
+	NVars int
+	// Out[a] is the output for assignment a: 0, 1, or DC (don't care).
+	Out []OutVal
+}
+
+// OutVal is a three-valued truth-table entry.
+type OutVal uint8
+
+// Truth-table entry values.
+const (
+	Zero OutVal = iota
+	One
+	DC
+)
+
+// NewTruthTable creates an all-Zero table over nvars variables.
+func NewTruthTable(nvars int) *TruthTable {
+	if nvars < 0 || nvars > 20 {
+		panic(fmt.Sprintf("boolmin: unsupported variable count %d", nvars))
+	}
+	return &TruthTable{NVars: nvars, Out: make([]OutVal, 1<<uint(nvars))}
+}
+
+// Minterms returns the assignments with the requested output value.
+func (t *TruthTable) Minterms(v OutVal) []uint64 {
+	var out []uint64
+	for a, o := range t.Out {
+		if o == v {
+			out = append(out, uint64(a))
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether the SOP matches the table on all non-DC rows.
+func (t *TruthTable) Equivalent(s SOP) bool {
+	for a, o := range t.Out {
+		if o == DC {
+			continue
+		}
+		if s.Eval(uint64(a)) != (o == One) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortCubes gives a deterministic order for reproducible output.
+func sortCubes(cs []Cube) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Mask != cs[j].Mask {
+			return cs[i].Mask < cs[j].Mask
+		}
+		return cs[i].Value < cs[j].Value
+	})
+}

@@ -1,0 +1,273 @@
+package boolmin
+
+import "sort"
+
+// PrimeImplicants computes all prime implicants of the function described
+// by the truth table, treating DC rows as coverable (classic Quine-
+// McCluskey with don't-cares).
+func PrimeImplicants(t *TruthTable) []Cube {
+	full := uint64(1)<<uint(t.NVars) - 1
+	if t.NVars == 0 {
+		if len(t.Out) > 0 && t.Out[0] == One {
+			return []Cube{{Value: 0, Mask: 0}}
+		}
+		return nil
+	}
+
+	// Level 0: all ON and DC minterms as full cubes.
+	cur := make(map[Cube]bool)
+	for a, o := range t.Out {
+		if o == One || o == DC {
+			cur[Cube{Value: uint64(a), Mask: full}] = false // false = not yet merged
+		}
+	}
+	var primes []Cube
+	for len(cur) > 0 {
+		next := make(map[Cube]bool)
+		keys := make([]Cube, 0, len(cur))
+		for c := range cur {
+			keys = append(keys, c)
+		}
+		sortCubes(keys)
+		merged := make(map[Cube]bool, len(keys))
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if m, ok := mergeDistance1(keys[i], keys[j]); ok {
+					next[m] = false
+					merged[keys[i]] = true
+					merged[keys[j]] = true
+				}
+			}
+		}
+		for _, c := range keys {
+			if !merged[c] {
+				primes = append(primes, c)
+			}
+		}
+		cur = next
+	}
+	sortCubes(primes)
+	return primes
+}
+
+// MinimizeExact returns a minimum-cube SOP covering all ON minterms,
+// using prime implicants and Petrick's method (exact for small tables;
+// falls back to greedy cover when the Petrick product would explode).
+// Ties between equal-cube-count covers are broken by literal count.
+func MinimizeExact(t *TruthTable) SOP {
+	on := t.Minterms(One)
+	if len(on) == 0 {
+		return SOP{NVars: t.NVars}
+	}
+	primes := PrimeImplicants(t)
+
+	// Essential primes first.
+	cover, remaining := essentialPrimes(primes, on)
+
+	if len(remaining) > 0 {
+		// Candidate primes that cover at least one remaining minterm.
+		var cand []Cube
+		for _, p := range primes {
+			if containsAny(p, remaining) && !inCover(cover, p) {
+				cand = append(cand, p)
+			}
+		}
+		var extra []Cube
+		if len(cand) <= 24 && len(remaining) <= 24 {
+			extra = petrick(cand, remaining, t.NVars)
+		} else {
+			extra = greedyCover(cand, remaining)
+		}
+		cover = append(cover, extra...)
+	}
+	sortCubes(cover)
+	return SOP{NVars: t.NVars, Cubes: cover}
+}
+
+// MinimizeGreedy is the pure greedy set-cover minimizer (used for larger
+// instances and as an ablation point against MinimizeExact).
+func MinimizeGreedy(t *TruthTable) SOP {
+	on := t.Minterms(One)
+	if len(on) == 0 {
+		return SOP{NVars: t.NVars}
+	}
+	primes := PrimeImplicants(t)
+	cover, remaining := essentialPrimes(primes, on)
+	if len(remaining) > 0 {
+		cover = append(cover, greedyCover(primes, remaining)...)
+	}
+	sortCubes(cover)
+	return SOP{NVars: t.NVars, Cubes: cover}
+}
+
+func essentialPrimes(primes []Cube, on []uint64) (cover []Cube, remaining []uint64) {
+	covered := make(map[uint64]bool)
+	for _, m := range on {
+		var owner *Cube
+		cnt := 0
+		for i := range primes {
+			if primes[i].Covers(m) {
+				cnt++
+				owner = &primes[i]
+			}
+		}
+		if cnt == 1 && !inCover(cover, *owner) {
+			cover = append(cover, *owner)
+		}
+	}
+	for _, c := range cover {
+		for _, m := range on {
+			if c.Covers(m) {
+				covered[m] = true
+			}
+		}
+	}
+	for _, m := range on {
+		if !covered[m] {
+			remaining = append(remaining, m)
+		}
+	}
+	return cover, remaining
+}
+
+func inCover(cover []Cube, c Cube) bool {
+	for _, x := range cover {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAny(c Cube, ms []uint64) bool {
+	for _, m := range ms {
+		if c.Covers(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyCover repeatedly picks the cube covering the most uncovered
+// minterms (ties: fewer literals, then deterministic order).
+func greedyCover(cand []Cube, minterms []uint64) []Cube {
+	uncovered := make(map[uint64]bool, len(minterms))
+	for _, m := range minterms {
+		uncovered[m] = true
+	}
+	var out []Cube
+	for len(uncovered) > 0 {
+		best := -1
+		bestCnt := 0
+		for i, c := range cand {
+			cnt := 0
+			for m := range uncovered {
+				if c.Covers(m) {
+					cnt++
+				}
+			}
+			if cnt > bestCnt || (cnt == bestCnt && cnt > 0 && best >= 0 && lessCube(c, cand[best])) {
+				best, bestCnt = i, cnt
+			}
+		}
+		if best < 0 {
+			break // uncoverable (cannot happen when cand ⊇ primes of minterms)
+		}
+		out = append(out, cand[best])
+		for m := range uncovered {
+			if cand[best].Covers(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	return out
+}
+
+func lessCube(a, b Cube) bool {
+	if a.Mask != b.Mask {
+		return a.Mask < b.Mask
+	}
+	return a.Value < b.Value
+}
+
+// petrick computes an exact minimum cover via Petrick's method: build the
+// product of sums (one sum per uncovered minterm listing the primes that
+// cover it), expand to a sum of products over prime-index sets, and pick
+// the smallest set (ties by literal count).
+func petrick(cand []Cube, minterms []uint64, nvars int) []Cube {
+	type set = uint32 // bitmask over candidate primes (≤24)
+	products := []set{0}
+	for _, m := range minterms {
+		var sum []set
+		for i, c := range cand {
+			if c.Covers(m) {
+				sum = append(sum, set(1)<<uint(i))
+			}
+		}
+		var next []set
+		for _, p := range products {
+			for _, s := range sum {
+				next = append(next, p|s)
+			}
+		}
+		products = absorb(next)
+		if len(products) > 200000 {
+			// Safety valve: degenerate to greedy.
+			return greedyCover(cand, minterms)
+		}
+	}
+	best := products[0]
+	bestCost := petrickCost(best, cand, nvars)
+	for _, p := range products[1:] {
+		c := petrickCost(p, cand, nvars)
+		if c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	var out []Cube
+	for i := range cand {
+		if best&(1<<uint(i)) != 0 {
+			out = append(out, cand[i])
+		}
+	}
+	return out
+}
+
+// petrickCost orders covers by (cube count, literal count).
+func petrickCost(s uint32, cand []Cube, nvars int) int {
+	cubes, lits := 0, 0
+	for i := range cand {
+		if s&(1<<uint(i)) != 0 {
+			cubes++
+			lits += cand[i].Literals(nvars)
+		}
+	}
+	return cubes*1024 + lits
+}
+
+// absorb removes supersets: X absorbs X∪Y.
+func absorb(sets []uint32) []uint32 {
+	sort.Slice(sets, func(i, j int) bool { return popcount32(sets[i]) < popcount32(sets[j]) })
+	var out []uint32
+	for _, s := range sets {
+		keep := true
+		for _, k := range out {
+			if k&s == k {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

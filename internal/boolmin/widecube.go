@@ -1,0 +1,181 @@
+package boolmin
+
+import "strings"
+
+// WideCube is a product term over an arbitrary number of variables,
+// supporting the full-precision (n up to 256) cubes of the baseline
+// "simple minimization" path, where one cube per DDG leaf spans all n
+// input bits.
+type WideCube struct {
+	Value []uint64
+	Mask  []uint64
+}
+
+// NewWideCube allocates an all-don't-care cube over nvars variables.
+func NewWideCube(nvars int) WideCube {
+	w := (nvars + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	return WideCube{Value: make([]uint64, w), Mask: make([]uint64, w)}
+}
+
+// SetLiteral adds variable i with the given polarity.
+func (c WideCube) SetLiteral(i int, polarity byte) {
+	c.Mask[i/64] |= 1 << uint(i%64)
+	if polarity != 0 {
+		c.Value[i/64] |= 1 << uint(i%64)
+	} else {
+		c.Value[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Covers reports whether the cube is true on the assignment (bit i of
+// assign[i/64] is variable i).
+func (c WideCube) Covers(assign []uint64) bool {
+	for w := range c.Mask {
+		var a uint64
+		if w < len(assign) {
+			a = assign[w]
+		}
+		if (a^c.Value[w])&c.Mask[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Literals counts tested variables.
+func (c WideCube) Literals() int {
+	n := 0
+	for _, m := range c.Mask {
+		for ; m != 0; m &= m - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether c covers everything d covers.
+func (c WideCube) Contains(d WideCube) bool {
+	for w := range c.Mask {
+		if c.Mask[w]&^d.Mask[w] != 0 {
+			return false
+		}
+		if (c.Value[w]^d.Value[w])&c.Mask[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality.
+func (c WideCube) Equal(d WideCube) bool {
+	for w := range c.Mask {
+		if c.Mask[w] != d.Mask[w] || c.Value[w] != d.Value[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cube over nvars variables, variable 0 first
+// (draw order, matching the sampler's bit stream).
+func (c WideCube) String(nvars int) string {
+	var b strings.Builder
+	for i := 0; i < nvars; i++ {
+		w, bit := i/64, uint(i%64)
+		switch {
+		case c.Mask[w]&(1<<bit) == 0:
+			b.WriteByte('-')
+		case c.Value[w]&(1<<bit) != 0:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// tryMergeWide merges two cubes that test identical variables and differ
+// in exactly one polarity.
+func tryMergeWide(a, b WideCube) (WideCube, bool) {
+	var diffWord = -1
+	for w := range a.Mask {
+		if a.Mask[w] != b.Mask[w] {
+			return WideCube{}, false
+		}
+		if d := a.Value[w] ^ b.Value[w]; d != 0 {
+			if diffWord >= 0 || d&(d-1) != 0 {
+				return WideCube{}, false
+			}
+			diffWord = w
+		}
+	}
+	if diffWord < 0 {
+		return WideCube{}, false
+	}
+	out := WideCube{Value: append([]uint64(nil), a.Value...), Mask: append([]uint64(nil), a.Mask...)}
+	d := a.Value[diffWord] ^ b.Value[diffWord]
+	out.Value[diffWord] &^= d
+	out.Mask[diffWord] &^= d
+	return out, true
+}
+
+// SimplifyWide applies the naive iterated distance-1 merge plus
+// containment pruning to a wide cube list until fixpoint.  This models the
+// "simple minimization" the prior work [21] applied before bitslicing: it
+// shrinks the cube list but cannot exploit the 1^κ0 prefix structure that
+// the paper's sublist split exposes.
+func SimplifyWide(cubes []WideCube) []WideCube {
+	cur := append([]WideCube(nil), cubes...)
+	for {
+		merged := false
+		var next []WideCube
+		used := make([]bool, len(cur))
+		for i := 0; i < len(cur); i++ {
+			if used[i] {
+				continue
+			}
+			found := false
+			for j := i + 1; j < len(cur); j++ {
+				if used[j] {
+					continue
+				}
+				if m, ok := tryMergeWide(cur[i], cur[j]); ok {
+					next = append(next, m)
+					used[i], used[j] = true, true
+					merged, found = true, true
+					break
+				}
+			}
+			if !found {
+				next = append(next, cur[i])
+			}
+		}
+		cur = pruneContained(next)
+		if !merged {
+			return cur
+		}
+	}
+}
+
+func pruneContained(cubes []WideCube) []WideCube {
+	var out []WideCube
+	for i, c := range cubes {
+		redundant := false
+		for j, d := range cubes {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && (!c.Contains(d) || j < i) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package ctcheck reimplements the statistical constant-time test of
+// "dudect" (Reparaz, Balasch, Verbauwhede — DATE 2017), which the paper
+// uses to affirm the constant running time of its sampler, plus a
+// deterministic work-count analysis that is more reliable than wall-clock
+// timing under a garbage-collected runtime.
+//
+// The dudect methodology: measure the execution time of the target under
+// two input classes (typically "fixed" vs "random"), optionally crop upper
+// percentiles to shed measurement tails, and compute Welch's t-statistic
+// between the classes.  |t| > 4.5 is the customary evidence of a timing
+// leak; |t| staying below that over many measurements is evidence of
+// constant-time behaviour.
+package ctcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Threshold is the customary |t| bound above which dudect declares a leak.
+const Threshold = 4.5
+
+// Welch returns Welch's t-statistic between two samples.  It returns 0
+// when either sample has fewer than two points or zero variance in both.
+func Welch(a, b []float64) float64 {
+	if len(a) < 2 || len(b) < 2 {
+		return 0
+	}
+	ma, va := meanVar(a)
+	mb, vb := meanVar(b)
+	den := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+	if den == 0 {
+		return 0
+	}
+	return (ma - mb) / den
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+// Crop returns the measurements at or below the pct percentile (0 < pct ≤
+// 1), the dudect post-processing that sheds interrupt/GC tails.
+func Crop(xs []float64, pct float64) []float64 {
+	if pct <= 0 || pct > 1 {
+		panic("ctcheck: percentile must be in (0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cut := sorted[int(float64(len(sorted)-1)*pct)]
+	var out []float64
+	for _, x := range xs {
+		if x <= cut {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Result summarises one dudect comparison.
+type Result struct {
+	T      float64 // Welch's t on cropped measurements
+	TRaw   float64 // Welch's t on raw measurements
+	Leaky  bool    // |T| > Threshold
+	NA, NB int     // measurement counts per class
+}
+
+func (r Result) String() string {
+	verdict := "no evidence of timing leak"
+	if r.Leaky {
+		verdict = "TIMING LEAK"
+	}
+	return fmt.Sprintf("t=%+.2f (raw %+.2f), n=%d/%d: %s", r.T, r.TRaw, r.NA, r.NB, verdict)
+}
+
+// Options tunes a timing comparison.
+type Options struct {
+	Measurements int     // timing samples per class (default 2000)
+	InnerReps    int     // target invocations per timing sample (default 32)
+	CropPct      float64 // percentile crop (default 0.9)
+}
+
+func (o *Options) fill() {
+	if o.Measurements == 0 {
+		o.Measurements = 2000
+	}
+	if o.InnerReps == 0 {
+		o.InnerReps = 32
+	}
+	if o.CropPct == 0 {
+		o.CropPct = 0.9
+	}
+}
+
+// CompareTiming measures classA and classB in randomized order and
+// returns the Welch comparison.  Randomizing the class order per
+// measurement (as dudect does) cancels drift such as frequency scaling,
+// cache warming and GC phase, which a fixed ABAB… order would alias into
+// a fake shift.
+func CompareTiming(classA, classB func(), opt Options) Result {
+	opt.fill()
+	ta := make([]float64, 0, opt.Measurements)
+	tb := make([]float64, 0, opt.Measurements)
+	lcg := uint64(0x9e3779b97f4a7c15)
+	for len(ta) < opt.Measurements || len(tb) < opt.Measurements {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		pickA := lcg>>63 == 1
+		if pickA && len(ta) >= opt.Measurements {
+			pickA = false
+		}
+		if !pickA && len(tb) >= opt.Measurements {
+			pickA = true
+		}
+		f := classB
+		if pickA {
+			f = classA
+		}
+		start := time.Now()
+		for r := 0; r < opt.InnerReps; r++ {
+			f()
+		}
+		d := float64(time.Since(start).Nanoseconds())
+		if pickA {
+			ta = append(ta, d)
+		} else {
+			tb = append(tb, d)
+		}
+	}
+	ca, cb := Crop(ta, opt.CropPct), Crop(tb, opt.CropPct)
+	t := Welch(ca, cb)
+	return Result{
+		T:     t,
+		TRaw:  Welch(ta, tb),
+		Leaky: math.Abs(t) > Threshold,
+		NA:    len(ca),
+		NB:    len(cb),
+	}
+}
+
+// WorkTrace is the deterministic alternative: a per-invocation work count
+// (loop iterations, bits consumed, table scans).  A constant-time
+// algorithm has identical counts for every invocation; a leaky one shows
+// variance correlated with secrets.
+type WorkTrace struct {
+	Counts []uint64
+}
+
+// Record appends one invocation's work count.
+func (w *WorkTrace) Record(c uint64) { w.Counts = append(w.Counts, c) }
+
+// Constant reports whether every recorded count is identical.
+func (w *WorkTrace) Constant() bool {
+	for _, c := range w.Counts[1:] {
+		if c != w.Counts[0] {
+			return false
+		}
+	}
+	return len(w.Counts) > 0
+}
+
+// Correlation returns the Pearson correlation between work counts and an
+// equal-length secret series — evidence of a leak when far from 0.
+func (w *WorkTrace) Correlation(secret []float64) float64 {
+	if len(secret) != len(w.Counts) || len(secret) < 2 {
+		panic("ctcheck: series length mismatch")
+	}
+	xs := make([]float64, len(w.Counts))
+	for i, c := range w.Counts {
+		xs[i] = float64(c)
+	}
+	mx, vx := meanVar(xs)
+	my, vy := meanVar(secret)
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (secret[i] - my)
+	}
+	cov /= float64(len(xs) - 1)
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,178 @@
+package ctcheck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ctgauss/internal/core"
+	"ctgauss/internal/prng"
+	"ctgauss/internal/sampler"
+)
+
+func TestWelchZeroOnIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := Welch(a, a); got != 0 {
+		t.Fatalf("Welch(a,a) = %v", got)
+	}
+}
+
+func TestWelchDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1 // shifted mean
+	}
+	if got := Welch(a, b); math.Abs(got) < 10 {
+		t.Fatalf("Welch should detect unit shift, got %v", got)
+	}
+}
+
+func TestWelchSmallSamples(t *testing.T) {
+	if Welch([]float64{1}, []float64{2, 3}) != 0 {
+		t.Fatal("short samples must yield 0")
+	}
+	if Welch([]float64{1, 1}, []float64{1, 1}) != 0 {
+		t.Fatal("zero variance must yield 0")
+	}
+}
+
+func TestCrop(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	c := Crop(xs, 0.9)
+	for _, x := range c {
+		if x == 100 {
+			t.Fatal("outlier survived crop")
+		}
+	}
+	if len(c) != 9 {
+		t.Fatalf("cropped to %d, want 9", len(c))
+	}
+}
+
+func TestCropPanicsOnBadPct(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Crop([]float64{1}, 0)
+}
+
+func TestWorkTraceConstant(t *testing.T) {
+	var w WorkTrace
+	for i := 0; i < 10; i++ {
+		w.Record(42)
+	}
+	if !w.Constant() {
+		t.Fatal("constant trace reported varying")
+	}
+	w.Record(43)
+	if w.Constant() {
+		t.Fatal("varying trace reported constant")
+	}
+}
+
+func TestWorkTraceCorrelation(t *testing.T) {
+	var w WorkTrace
+	secret := make([]float64, 100)
+	for i := range secret {
+		secret[i] = float64(i % 7)
+		w.Record(uint64(10 + i%7)) // perfectly correlated
+	}
+	if c := w.Correlation(secret); c < 0.99 {
+		t.Fatalf("correlation = %v, want ≈ 1", c)
+	}
+}
+
+// TestBitslicedSamplerWorkIsConstant verifies the paper's central security
+// claim deterministically: per batch, the bitsliced sampler consumes a
+// fixed number of random bits and executes a fixed instruction sequence,
+// regardless of the sampled values.
+func TestBitslicedSamplerWorkIsConstant(t *testing.T) {
+	b, err := core.Build(core.Config{Sigma: "2", N: 64, TailCut: 13, Min: core.MinimizeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.NewSampler(prng.MustChaCha20([]byte("ct")))
+	var w WorkTrace
+	prev := uint64(0)
+	for batch := 0; batch < 200; batch++ {
+		dst := make([]int, 64)
+		s.NextBatch(dst)
+		w.Record(s.BitsUsed() - prev)
+		prev = s.BitsUsed()
+	}
+	if !w.Constant() {
+		t.Fatal("bitsliced sampler consumed varying randomness per batch")
+	}
+}
+
+// TestByteScanLeakDetectedByWorkCount shows the contrast: the byte-scan
+// CDT's work depends on the sample.
+func TestByteScanLeakDetectedByWorkCount(t *testing.T) {
+	p, err := core.Build(core.Config{Sigma: "2", N: 64, TailCut: 13, Min: core.MinimizeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := sampler.NewByteScanCDT(p.Table, prng.MustChaCha20([]byte("bsleak")))
+	var w WorkTrace
+	secret := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		before := bs.Steps
+		v := bs.Next()
+		if v < 0 {
+			v = -v
+		}
+		w.Record(bs.Steps - before)
+		secret = append(secret, float64(v))
+	}
+	if w.Constant() {
+		t.Fatal("byte-scan CDT work unexpectedly constant")
+	}
+	if c := w.Correlation(secret); c < 0.5 {
+		t.Fatalf("byte-scan work/sample correlation = %.3f, want strong positive", c)
+	}
+}
+
+// TestLinearCDTWorkIsConstant: the constant-time CDT baseline really is
+// flat in work count.
+func TestLinearCDTWorkIsConstant(t *testing.T) {
+	p, err := core.Build(core.Config{Sigma: "2", N: 64, TailCut: 13, Min: core.MinimizeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := sampler.NewLinearCDT(p.Table, prng.MustChaCha20([]byte("linct")))
+	var w WorkTrace
+	for i := 0; i < 5000; i++ {
+		before := lin.Steps
+		lin.Next()
+		w.Record(lin.Steps - before)
+	}
+	if !w.Constant() {
+		t.Fatal("linear CDT work varies")
+	}
+}
+
+func TestCompareTimingSmoke(t *testing.T) {
+	// Identical closures must not be flagged (generous threshold; wall
+	// clock under CI is noisy, so this is a smoke test only).
+	x := 0
+	f := func() { x++ }
+	r := CompareTiming(f, f, Options{Measurements: 300, InnerReps: 16})
+	if r.NA == 0 || r.NB == 0 {
+		t.Fatal("no measurements")
+	}
+	if math.Abs(r.T) > 50 {
+		t.Fatalf("identical closures produced |t|=%v", r.T)
+	}
+	_ = r.String()
+}
+
+func TestResultString(t *testing.T) {
+	if s := (Result{T: 10, Leaky: true}).String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,221 @@
+// Package ddg implements the discrete distribution generating (DDG) tree
+// machinery behind Knuth-Yao sampling: on-the-fly column-scanning sampling
+// (Alg. 1 of the paper), explicit enumeration of every random bit string
+// that hits a leaf (the list L of §5.1), verification of the structural
+// Theorem 1 (every sample-generating string is x^i (0/1)^j 0 1^k in draw
+// order: k ones, one zero, then j payload bits), the Δ bound on j, and the
+// sublist split of Fig. 3.
+package ddg
+
+import (
+	"fmt"
+	"sort"
+
+	"ctgauss/internal/gaussian"
+)
+
+// Leaf describes one DDG-tree leaf: the unique root path that reaches it
+// and the sample value it carries.
+type Leaf struct {
+	// Path holds the random bits in draw order: Path[0] is the first bit
+	// consumed by the sampler (b₀ in the paper; the paper writes it as the
+	// rightmost character of the string).
+	Path []byte
+	// Value is the (folded, non-negative) sample value at this leaf.
+	Value int
+	// Level is the tree level of the leaf (== len(Path)-1).
+	Level int
+	// K is the length of the initial run of ones in Path (the 1^k block).
+	K int
+	// J is the number of payload bits after the terminating zero:
+	// J = len(Path) - K - 1.
+	J int
+}
+
+// Tree is the result of unrolling the DDG tree of a probability matrix.
+type Tree struct {
+	Table  *gaussian.Table
+	Leaves []Leaf
+	// InternalPerLevel[i] is the number of internal nodes at level i
+	// (t_i in the analysis; bounded for any sensible distribution).
+	InternalPerLevel []int
+	// Delta is max_leaf J — the paper's Δ.
+	Delta int
+	// MaxK is the largest initial-ones run among leaves (n' in the paper).
+	MaxK int
+}
+
+// node is an internal DDG node during unrolling, identified by its
+// distance d from the *top* of the internal block, carrying its root path.
+type node struct {
+	d    int
+	path []byte
+}
+
+// Unroll walks the probability matrix column by column, reproducing the
+// on-the-fly DDG construction, and records every leaf with its unique root
+// path.
+//
+// At level i the 2·t_{i-1} children are ordered top-to-bottom; the h_i
+// leaves occupy the top of the block and are labelled by scanning matrix
+// rows from the highest sample value (MAXROW) down to 0, matching Alg. 1,
+// where d counts the distance from the node to the rightmost visited node
+// and a hit happens when d goes negative while subtracting column bits.
+func Unroll(t *gaussian.Table) (*Tree, error) {
+	m := t.Matrix()
+	n := t.Params.N
+	rows := len(m)
+
+	// Column c: list of sample values owning leaves, scanned from MAXROW
+	// down to 0 — leafRows[c][s] is the value for the node with d = s.
+	leafRows := make([][]int, n)
+	for c := 0; c < n; c++ {
+		for r := rows - 1; r >= 0; r-- {
+			if m[r][c] == 1 {
+				leafRows[c] = append(leafRows[c], r)
+			}
+		}
+	}
+
+	tree := &Tree{Table: t, InternalPerLevel: make([]int, n)}
+	cur := []node{{d: 0, path: nil}} // virtual root (level -1)
+	for c := 0; c < n; c++ {
+		h := len(leafRows[c])
+		next := make([]node, 0, 2*len(cur))
+		for _, nd := range cur {
+			for bit := 0; bit <= 1; bit++ {
+				// Alg.1: d ← 2d + r. With r the new random bit, the child
+				// distance from the top of the level-c block is 2d + r.
+				cd := 2*nd.d + bit
+				path := make([]byte, len(nd.path)+1)
+				copy(path, nd.path)
+				path[len(nd.path)] = byte(bit)
+				if cd < h {
+					k := onesRun(path)
+					tree.Leaves = append(tree.Leaves, Leaf{
+						Path:  path,
+						Value: leafRows[c][cd],
+						Level: c,
+						K:     k,
+						J:     len(path) - k - 1,
+					})
+				} else {
+					next = append(next, node{d: cd - h, path: path})
+				}
+			}
+		}
+		tree.InternalPerLevel[c] = len(next)
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+		if len(cur) > 4*rows+8 {
+			return nil, fmt.Errorf("ddg: internal node count %d at level %d exceeds bound; matrix is not a (near-)probability distribution", len(cur), c)
+		}
+	}
+
+	for _, lf := range tree.Leaves {
+		if lf.J > tree.Delta {
+			tree.Delta = lf.J
+		}
+		if lf.K > tree.MaxK {
+			tree.MaxK = lf.K
+		}
+	}
+	sort.SliceStable(tree.Leaves, func(i, j int) bool {
+		if tree.Leaves[i].K != tree.Leaves[j].K {
+			return tree.Leaves[i].K < tree.Leaves[j].K
+		}
+		return tree.Leaves[i].Level < tree.Leaves[j].Level
+	})
+	return tree, nil
+}
+
+// onesRun returns the length of the initial run of 1 bits in draw order.
+func onesRun(path []byte) int {
+	k := 0
+	for _, b := range path {
+		if b != 1 {
+			break
+		}
+		k++
+	}
+	return k
+}
+
+// VerifyTheorem1 checks that every leaf path consists of an initial run of
+// ones, a single zero, and then payload bits — i.e. no leaf path is all
+// ones (the x^i 1^k' form excluded by Theorem 1).
+func (tr *Tree) VerifyTheorem1() error {
+	for _, lf := range tr.Leaves {
+		if lf.K == len(lf.Path) {
+			return fmt.Errorf("ddg: leaf at level %d has all-ones path, violating Theorem 1", lf.Level)
+		}
+		if lf.Path[lf.K] != 0 {
+			return fmt.Errorf("ddg: leaf path does not have 0 after the ones run")
+		}
+	}
+	return nil
+}
+
+// Sublist is l_κ of the paper: all leaves whose paths start with exactly κ
+// ones followed by a zero.  Within a sublist the sample is a function of
+// the ≤ Δ payload bits alone.
+type Sublist struct {
+	K      int
+	Leaves []Leaf
+}
+
+// Sublists splits the (already K-sorted) leaves into the paper's l_κ lists.
+// Empty κ values are skipped; the result is ordered by increasing K.
+func (tr *Tree) Sublists() []Sublist {
+	var out []Sublist
+	for _, lf := range tr.Leaves {
+		if len(out) == 0 || out[len(out)-1].K != lf.K {
+			out = append(out, Sublist{K: lf.K})
+		}
+		s := &out[len(out)-1]
+		s.Leaves = append(s.Leaves, lf)
+	}
+	return out
+}
+
+// MaxValueBits returns the number of bits m needed to encode the largest
+// sample value among the leaves.
+func (tr *Tree) MaxValueBits() int {
+	maxv := 0
+	for _, lf := range tr.Leaves {
+		if lf.Value > maxv {
+			maxv = lf.Value
+		}
+	}
+	bits := 0
+	for v := maxv; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// LeafProbabilityCheck verifies that Σ_leaves 2^-(level+1) equals
+// 1 − deficit·2^-N, i.e. the unrolled tree accounts for exactly the mass
+// stored in the probability matrix.  It returns the deficit in units of
+// 2^-N (which must match Table.MassDeficit).
+func (tr *Tree) LeafProbabilityCheck() (deficitUnits int64, err error) {
+	n := tr.Table.Params.N
+	// Work in units of 2^-N using big-ish arithmetic via int64 when safe:
+	// mass of a leaf at level c is 2^(N-1-c) units. For N ≤ 62 int64 is
+	// enough; larger N uses the internal-node count at the last level,
+	// which equals the deficit in units of 2^-N.
+	if n <= 62 {
+		var sum int64
+		for _, lf := range tr.Leaves {
+			sum += int64(1) << uint(n-1-lf.Level)
+		}
+		return (int64(1) << uint(n)) - sum, nil
+	}
+	last := tr.InternalPerLevel[n-1]
+	return int64(last), nil
+}

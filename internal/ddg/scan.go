@@ -1,0 +1,63 @@
+package ddg
+
+import "fmt"
+
+// BitSource yields one random bit per call (0 or 1).  The ddg package uses
+// it for the reference sampler; production samplers live in
+// internal/sampler and draw from internal/prng.
+type BitSource interface {
+	Bit() byte
+}
+
+// BitSourceFunc adapts a function to the BitSource interface.
+type BitSourceFunc func() byte
+
+// Bit implements BitSource.
+func (f BitSourceFunc) Bit() byte { return f() }
+
+// ErrFellOffTree is returned when an n-column walk terminates without
+// hitting a leaf; its probability is the matrix mass deficit (≈ 2^-n).
+var ErrFellOffTree = fmt.Errorf("ddg: random walk exhausted all columns without hitting a leaf")
+
+// Scan runs Algorithm 1 (Knuth-Yao column-scanning sampling) over the
+// probability matrix, drawing bits from src.  It returns the folded sample
+// value and the number of random bits consumed.
+func Scan(matrix [][]byte, src BitSource) (value, bitsUsed int, err error) {
+	if len(matrix) == 0 {
+		return 0, 0, fmt.Errorf("ddg: empty matrix")
+	}
+	cols := len(matrix[0])
+	d := 0
+	for col := 0; col < cols; col++ {
+		r := int(src.Bit() & 1)
+		bitsUsed++
+		d = 2*d + r
+		for row := len(matrix) - 1; row >= 0; row-- {
+			d -= int(matrix[row][col])
+			if d == -1 {
+				return row, bitsUsed, nil
+			}
+		}
+	}
+	return 0, bitsUsed, ErrFellOffTree
+}
+
+// ScanPath replays a fixed bit path through the matrix; it is the testing
+// bridge between Unroll's leaf enumeration and Algorithm 1.  hit is true
+// only when the walk terminates exactly on the last bit of the path.
+func ScanPath(matrix [][]byte, path []byte) (value int, hit bool) {
+	i := 0
+	v, used, err := Scan(matrix, BitSourceFunc(func() byte {
+		if i >= len(path) {
+			i++
+			return 0
+		}
+		b := path[i]
+		i++
+		return b
+	}))
+	if err != nil {
+		return 0, false
+	}
+	return v, used == len(path)
+}

@@ -1,0 +1,113 @@
+package falcon
+
+import (
+	"fmt"
+
+	"ctgauss/internal/core"
+	"ctgauss/internal/prng"
+	"ctgauss/internal/sampler"
+	"ctgauss/internal/sampler/gen"
+)
+
+// builtCache memoises sampler pipelines per σ string (building the σ_fg
+// and σ=2 circuits is deterministic and reusable across keys).
+var builtCache = map[string]*core.Built{}
+
+func builtFor(sigma string, n int) (*core.Built, error) {
+	key := fmt.Sprintf("%s/%d", sigma, n)
+	if b, ok := builtCache[key]; ok {
+		return b, nil
+	}
+	b, err := core.Build(core.Config{Sigma: sigma, N: n, TailCut: 13, Min: core.MinimizeExact})
+	if err != nil {
+		return nil, err
+	}
+	builtCache[key] = b
+	return b, nil
+}
+
+// Keygen generates a key pair for ring degree n, deterministically from
+// seed, using the repo's own bitsliced constant-time sampler for the f, g
+// coefficients.
+func Keygen(n int, seed []byte) (*PrivateKey, error) {
+	params, err := ParamsFor(n)
+	if err != nil {
+		return nil, err
+	}
+	sigmaFG := fmt.Sprintf("%.5f", params.SigmaFG)
+	built, err := builtFor(sigmaFG, 64)
+	if err != nil {
+		return nil, err
+	}
+	src, err := prng.NewChaCha20(seed)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateKey(params, built.NewSampler(src))
+}
+
+// BaseSamplerKind selects the Table-1 base sampler variant.
+type BaseSamplerKind int
+
+// The four base samplers of Table 1.
+const (
+	BaseBitsliced   BaseSamplerKind = iota // this work (constant-time)
+	BaseCDT                                // binary-search CDT [26]
+	BaseByteScanCDT                        // byte-scanning CDT [13]
+	BaseLinearCDT                          // linear-search constant-time CDT [7]
+)
+
+func (k BaseSamplerKind) String() string {
+	switch k {
+	case BaseBitsliced:
+		return "bitsliced (this work)"
+	case BaseCDT:
+		return "CDT"
+	case BaseByteScanCDT:
+		return "byte-scanning CDT"
+	case BaseLinearCDT:
+		return "linear-search CDT"
+	}
+	return "?"
+}
+
+// NewBaseSampler instantiates one of the Table-1 base samplers at the
+// paper's configuration (σ=2, n=128, τ=13) over a ChaCha20 stream.
+func NewBaseSampler(kind BaseSamplerKind, seed []byte) (sampler.Sampler, error) {
+	built, err := builtFor("2", 128)
+	if err != nil {
+		return nil, err
+	}
+	src, err := prng.NewChaCha20(seed)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case BaseBitsliced:
+		// Production form: the generated, compiled circuit (the paper's
+		// tool output), not the instruction interpreter.
+		return sampler.NewCompiled("bitsliced-compiled(2)",
+			gen.Sigma2Batch, gen.Sigma2BatchInputs, gen.Sigma2BatchValueBits, src), nil
+	case BaseCDT:
+		return sampler.NewCDT(built.Table, src), nil
+	case BaseByteScanCDT:
+		return sampler.NewByteScanCDT(built.Table, src), nil
+	case BaseLinearCDT:
+		return sampler.NewLinearCDT(built.Table, src), nil
+	default:
+		return nil, fmt.Errorf("falcon: unknown base sampler %d", kind)
+	}
+}
+
+// NewSignerWithKind wires a signer with the chosen Table-1 base sampler.
+func NewSignerWithKind(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Signer, error) {
+	base, err := NewBaseSampler(kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	src, err := prng.NewChaCha20(append([]byte("salt:"), seed...))
+	if err != nil {
+		return nil, err
+	}
+	return NewSigner(sk, base, src)
+}

@@ -1,0 +1,24 @@
+package falcon
+
+import "ctgauss/internal/prng"
+
+// hashToPoint maps salt‖message to a uniform c ∈ Z_q^N with SHAKE256,
+// taking 16-bit big-endian chunks and rejecting values ≥ 5·q to avoid
+// modulo bias (the spec's HashToPoint).
+func hashToPoint(salt, msg []byte, n int) []uint32 {
+	sh := prng.NewSHAKE256()
+	sh.Absorb(salt)
+	sh.Absorb(msg)
+	out := make([]uint32, n)
+	var buf [2]byte
+	const limit = 5 * Q // 61445 < 65536
+	for i := 0; i < n; {
+		sh.Fill(buf[:])
+		t := uint32(buf[0])<<8 | uint32(buf[1])
+		if t < limit {
+			out[i] = t % Q
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Package falcon is a from-scratch implementation of the Falcon signature
+// scheme (Fouque et al., NIST submission) over Z_q[x]/(x^N+1), q = 12289,
+// with a pluggable discrete Gaussian base sampler — the experimental knob
+// of the paper's Table 1: signing cost is dominated by the ~2N integer
+// Gaussian samples that fast Fourier sampling draws per signature, so
+// swapping the base sampler (byte-scan CDT, binary CDT, linear-search
+// constant-time CDT, or the paper's bitsliced constant-time sampler)
+// reproduces the paper's comparison.
+package falcon
+
+import (
+	"fmt"
+	"math"
+)
+
+// Q is the Falcon modulus.
+const Q = 12289
+
+// SaltLen is the signature salt length in bytes (spec: 320 bits).
+const SaltLen = 40
+
+// SigmaBase is the standard deviation of the paper's base sampler (§6:
+// "Depending on the number field used this σ can be either 2 or √5"; we
+// use the binary field instance, σ = 2).
+const SigmaBase = 2.0
+
+// SigmaMax is the largest leaf standard deviation ffSampling requests;
+// the base sampler's σ must be at least this (2 > 1.8205 holds).
+const SigmaMax = 1.8205
+
+// Params fixes one security level.
+type Params struct {
+	Name     string
+	N        int     // ring degree (power of two)
+	Level    int     // the paper's Table-1 "security level" row
+	Sigma    float64 // signature standard deviation σ
+	SigmaMin float64 // smallest leaf σ' (ccs numerator in SamplerZ)
+	SigmaFG  float64 // keygen standard deviation for f, g coefficients
+	BoundSq  int64   // β²: max ‖(s0,s1)‖² of a valid signature
+}
+
+// ParamsFor returns the parameter set for N ∈ {256, 512, 1024}, matching
+// the paper's Level 1/2/3 rows.
+func ParamsFor(n int) (Params, error) {
+	level := map[int]int{256: 1, 512: 2, 1024: 3}[n]
+	if level == 0 {
+		return Params{}, fmt.Errorf("falcon: unsupported degree %d (want 256, 512 or 1024)", n)
+	}
+	sq := math.Sqrt(Q)
+	// Smoothing-parameter-driven signature width, calibrated like the
+	// spec: σ = (1/π)·sqrt(ln(4N(1+1/ε))/2) · 1.17·√q with 1/ε = 2^35.5
+	// (gives 165.7 for N=512, the spec value).
+	invEps := math.Pow(2, 35.5)
+	eta := math.Sqrt(math.Log(4*float64(n)*(1+invEps))/2) / math.Pi
+	sigma := eta * 1.17 * sq
+	// β = 1.1·σ·sqrt(2N).
+	beta := 1.1 * sigma * math.Sqrt(2*float64(n))
+	return Params{
+		Name:     fmt.Sprintf("falcon-%d", n),
+		N:        n,
+		Level:    level,
+		Sigma:    sigma,
+		SigmaMin: sigma / (1.17 * sq),
+		SigmaFG:  1.17 * math.Sqrt(Q/(2*float64(n))),
+		BoundSq:  int64(beta * beta),
+	}, nil
+}
+
+// MustParams is ParamsFor for known-good degrees.
+func MustParams(n int) Params {
+	p, err := ParamsFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

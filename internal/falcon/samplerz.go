@@ -1,0 +1,74 @@
+package falcon
+
+import (
+	"math"
+
+	"ctgauss/internal/prng"
+	"ctgauss/internal/sampler"
+)
+
+// samplerZState samples z ~ D_{Z, μ, σ'} for the varying centers and
+// standard deviations ffSampling requests, by rejection from the paper's
+// fixed base sampler D_{Z, σ0=2}.
+//
+// The construction mirrors Falcon's SamplerZ: draw a magnitude z0 from the
+// base, a bit b, propose z = b + (2b−1)·z0, and accept with probability
+//
+//	ccs · exp( z0²/(2σ0²) − (z−r)²/(2σ'²) ) · (1/2 if z0 ≥ 1)
+//
+// where r = μ − ⌊μ⌋ and ccs = σmin/σ'.  The (1/2 if z0 ≥ 1) factor
+// corrects for the folded base distribution (our signed sampler gives
+// magnitude masses p₀ = ρ(0)/Z and p_v = 2ρ(v)/Z), after which the
+// proposal density is exactly proportional to ρ_{σ0} on each branch and
+// the accepted z is exactly D_{Z,μ,σ'}-distributed.  x ≥ 0 always holds
+// because |z−r| ≥ z0 and σ' ≤ σmax < σ0.
+type samplerZState struct {
+	base     sampler.Sampler
+	bits     *prng.BitReader
+	sigmaMin float64
+	// Rejections counts rejected proposals (diagnostics).
+	Rejections uint64
+	// Accepted counts returned samples.
+	Accepted uint64
+}
+
+func newSamplerZ(base sampler.Sampler, bits *prng.BitReader, sigmaMin float64) *samplerZState {
+	return &samplerZState{base: base, bits: bits, sigmaMin: sigmaMin}
+}
+
+const invSigmaBaseSq2 = 1 / (2 * SigmaBase * SigmaBase)
+
+// sample returns z ~ D_{Z, mu, sigmaP}.
+func (s *samplerZState) sample(mu, sigmaP float64) float64 {
+	floorMu := math.Floor(mu)
+	r := mu - floorMu
+	ccs := s.sigmaMin / sigmaP
+	inv2s := 1 / (2 * sigmaP * sigmaP)
+	for {
+		v := s.base.Next()
+		if v < 0 {
+			v = -v
+		}
+		z0 := float64(v)
+		b := float64(s.bits.Bit())
+		z := b + (2*b-1)*z0
+		x := (z-r)*(z-r)*inv2s - z0*z0*invSigmaBaseSq2
+		p := ccs * math.Exp(-x)
+		if v >= 1 {
+			p *= 0.5
+		}
+		if s.acceptBer(p) {
+			s.Accepted++
+			return z + floorMu
+		}
+		s.Rejections++
+	}
+}
+
+// acceptBer returns true with probability p ∈ [0, 1], consuming 53 random
+// bits.
+func (s *samplerZState) acceptBer(p float64) bool {
+	threshold := uint64(p * (1 << 53))
+	draw := s.bits.Uint64() >> 11
+	return draw < threshold
+}

@@ -1,0 +1,124 @@
+package falcon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ctgauss/internal/fft"
+	"ctgauss/internal/prng"
+	"ctgauss/internal/sampler"
+)
+
+// Signature is a Falcon signature: the salt and the transmitted half s1
+// (the spec's s2); verification recomputes s0 = c − s1·h mod q.
+type Signature struct {
+	Salt []byte
+	S1   []int16
+}
+
+// Signer holds per-instance signing state: the key, the base Gaussian
+// sampler under test, and a PRNG for salts and rejection bits.
+type Signer struct {
+	sk   *PrivateKey
+	zs   *samplerZState
+	salt *prng.BitReader
+	// Attempts counts norm-rejection restarts (diagnostics).
+	Attempts uint64
+}
+
+// NewSigner builds a signer.  base is the discrete Gaussian base sampler
+// (σ must be SigmaBase = 2); src supplies salts and the SamplerZ rejection
+// randomness.
+func NewSigner(sk *PrivateKey, base sampler.Sampler, src prng.Source) (*Signer, error) {
+	if !sk.ready {
+		if err := sk.precompute(); err != nil {
+			return nil, err
+		}
+	}
+	bits := prng.NewBitReader(src)
+	return &Signer{
+		sk:   sk,
+		zs:   newSamplerZ(base, bits, sk.Params.SigmaMin),
+		salt: bits,
+	}, nil
+}
+
+// BaseSampler exposes the base sampler (for bit-count statistics).
+func (s *Signer) BaseSampler() sampler.Sampler { return s.zs.base }
+
+// ErrSignFailed is returned when no short-enough signature was found in
+// the attempt budget.
+var ErrSignFailed = errors.New("falcon: signing failed to find a short vector")
+
+// Sign produces a signature for msg.
+func (s *Signer) Sign(msg []byte) (*Signature, error) {
+	n := s.sk.Params.N
+	qInv := 1.0 / float64(Q)
+	for attempt := 0; attempt < 64; attempt++ {
+		s.Attempts++
+		salt := make([]byte, SaltLen)
+		s.salt.Bytes(salt)
+		c := hashToPoint(salt, msg, n)
+
+		cf := make([]float64, n)
+		for i, v := range c {
+			cf[i] = float64(v)
+		}
+		cFFT := fft.FFT(cf)
+
+		// t = (c, 0)·B⁻¹ = (c⊛(−F)/q, c⊛f/q); bFFT = [[g,−f],[G,−F]].
+		negFBig := fft.Scale(s.sk.bFFT[1][1], 1) // already −F
+		fF := fft.Scale(s.sk.bFFT[0][1], -1)     // −(−f) = f
+		t0 := fft.Scale(fft.Mul(cFFT, negFBig), qInv)
+		t1 := fft.Scale(fft.Mul(cFFT, fF), qInv)
+
+		z0, z1 := ffSampling(t0, t1, s.sk.tree, s.zs)
+
+		// s = (t − z)·B computed directly: s0 = c − (z0⊛g + z1⊛G),
+		// s1 = z0⊛f + z1⊛F; all integer vectors, recovered by rounding.
+		gF, GF := s.sk.bFFT[0][0], s.sk.bFFT[1][0]
+		FFb := fft.Scale(s.sk.bFFT[1][1], -1) // F
+		s0f := fft.Sub(cFFT, fft.Add(fft.Mul(z0, gF), fft.Mul(z1, GF)))
+		s1f := fft.Add(fft.Mul(z0, fF), fft.Mul(z1, FFb))
+
+		s0c, ok0 := roundVec(fft.InvFFT(s0f))
+		s1c, ok1 := roundVec(fft.InvFFT(s1f))
+		if !ok0 || !ok1 {
+			continue
+		}
+		var norm int64
+		for i := 0; i < n; i++ {
+			norm += int64(s0c[i])*int64(s0c[i]) + int64(s1c[i])*int64(s1c[i])
+		}
+		if norm > s.sk.Params.BoundSq || norm == 0 {
+			continue
+		}
+		return &Signature{Salt: salt, S1: s1c}, nil
+	}
+	return nil, ErrSignFailed
+}
+
+// roundVec rounds near-integer floats to int16, rejecting implausible
+// magnitudes (defence against float blow-ups).
+func roundVec(v []float64) ([]int16, bool) {
+	out := make([]int16, len(v))
+	for i, x := range v {
+		r := math.Round(x)
+		if math.Abs(x-r) > 0.4 || math.Abs(r) > 32000 {
+			return nil, false
+		}
+		out[i] = int16(r)
+	}
+	return out, true
+}
+
+// SampleStats reports SamplerZ acceptance statistics.
+func (s *Signer) SampleStats() string {
+	total := s.zs.Accepted + s.zs.Rejections
+	if total == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("accept rate %.1f%% (%d of %d)",
+		100*float64(s.zs.Accepted)/float64(total), s.zs.Accepted, total)
+}

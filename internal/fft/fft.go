@@ -1,0 +1,176 @@
+// Package fft implements the negacyclic complex FFT over ℝ[x]/(x^N+1)
+// used by Falcon's keygen, LDL* tree construction and fast Fourier
+// sampling.  A polynomial f of degree < N is represented in the Fourier
+// domain by its evaluations at the N odd 2N-th roots of unity
+// ζ_j = exp(iπ(2j+1)/N); split/merge move between a ring of size N and two
+// rings of size N/2 entirely in the Fourier domain, which is what
+// ffSampling traverses.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// roots caches ζ_j = exp(iπ(2j+1)/N) per size N.
+var (
+	rootsMu sync.Mutex
+	rootsBy = map[int][]complex128{}
+)
+
+// Roots returns the N evaluation points ζ_j for ring size N (power of two).
+func Roots(n int) []complex128 {
+	rootsMu.Lock()
+	defer rootsMu.Unlock()
+	if r, ok := rootsBy[n]; ok {
+		return r
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: size %d is not a positive power of two", n))
+	}
+	r := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		theta := math.Pi * float64(2*j+1) / float64(n)
+		r[j] = cmplx.Exp(complex(0, theta))
+	}
+	rootsBy[n] = r
+	return r
+}
+
+// FFT evaluates the real-coefficient polynomial f (length N) at the ζ_j
+// and returns the Fourier-domain vector.
+func FFT(f []float64) []complex128 {
+	c := make([]complex128, len(f))
+	for i, v := range f {
+		c[i] = complex(v, 0)
+	}
+	return FFTComplex(c)
+}
+
+// FFTComplex is FFT for complex coefficient vectors.
+func FFTComplex(f []complex128) []complex128 {
+	n := len(f)
+	if n == 1 {
+		return []complex128{f[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = f[2*i]
+		odd[i] = f[2*i+1]
+	}
+	fe := FFTComplex(even)
+	fo := FFTComplex(odd)
+	return Merge(fe, fo)
+}
+
+// InvFFT interpolates a Fourier-domain vector back to real coefficients.
+// The imaginary parts (rounding noise) are discarded.
+func InvFFT(F []complex128) []float64 {
+	c := invFFTComplex(F)
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}
+
+func invFFTComplex(F []complex128) []complex128 {
+	n := len(F)
+	if n == 1 {
+		return []complex128{F[0]}
+	}
+	fe, fo := Split(F)
+	even := invFFTComplex(fe)
+	odd := invFFTComplex(fo)
+	out := make([]complex128, n)
+	for i := 0; i < n/2; i++ {
+		out[2*i] = even[i]
+		out[2*i+1] = odd[i]
+	}
+	return out
+}
+
+// Split maps F ∈ FFT(ring N) to (Fe, Fo) ∈ FFT(ring N/2)²: the Fourier
+// images of the even and odd half polynomials with f = fe(x²) + x·fo(x²).
+func Split(F []complex128) (fe, fo []complex128) {
+	n := len(F)
+	z := Roots(n)
+	fe = make([]complex128, n/2)
+	fo = make([]complex128, n/2)
+	for j := 0; j < n/2; j++ {
+		a, b := F[j], F[j+n/2]
+		fe[j] = (a + b) / 2
+		fo[j] = (a - b) / (2 * z[j])
+	}
+	return fe, fo
+}
+
+// Merge is the inverse of Split.
+func Merge(fe, fo []complex128) []complex128 {
+	n := 2 * len(fe)
+	z := Roots(n)
+	F := make([]complex128, n)
+	for j := 0; j < n/2; j++ {
+		F[j] = fe[j] + z[j]*fo[j]
+		F[j+n/2] = fe[j] - z[j]*fo[j]
+	}
+	return F
+}
+
+// Mul returns the pointwise product (ring multiplication in FFT domain).
+func Mul(a, b []complex128) []complex128 {
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// Add returns the pointwise sum.
+func Add(a, b []complex128) []complex128 {
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns the pointwise difference a−b.
+func Sub(a, b []complex128) []complex128 {
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Div returns the pointwise quotient a/b.
+func Div(a, b []complex128) []complex128 {
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] / b[i]
+	}
+	return out
+}
+
+// Adj returns the Fourier image of the ring adjoint f*(x) = f(1/x): the
+// complex conjugate pointwise.
+func Adj(a []complex128) []complex128 {
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = cmplx.Conj(a[i])
+	}
+	return out
+}
+
+// Scale multiplies pointwise by a real scalar.
+func Scale(a []complex128, s float64) []complex128 {
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] * complex(s, 0)
+	}
+	return out
+}

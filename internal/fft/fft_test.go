@@ -1,0 +1,171 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomPoly(rng *rand.Rand, n int) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = float64(rng.Intn(41) - 20)
+	}
+	return f
+}
+
+// naive negacyclic multiplication in coefficient domain.
+func negacyclicMul(a, b []float64) []float64 {
+	n := len(a)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := i + j
+			v := a[i] * b[j]
+			if k >= n {
+				out[k-n] -= v
+			} else {
+				out[k] += v
+			}
+		}
+	}
+	return out
+}
+
+func maxDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 512, 1024} {
+		f := randomPoly(rng, n)
+		got := InvFFT(FFT(f))
+		if d := maxDiff(f, got); d > 1e-8 {
+			t.Fatalf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestFFTMulMatchesNegacyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 64, 256} {
+		a := randomPoly(rng, n)
+		b := randomPoly(rng, n)
+		want := negacyclicMul(a, b)
+		got := InvFFT(Mul(FFT(a), FFT(b)))
+		if d := maxDiff(want, got); d > 1e-6*float64(n) {
+			t.Fatalf("n=%d: mul error %g", n, d)
+		}
+	}
+}
+
+func TestSplitMergeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	F := FFT(randomPoly(rng, 64))
+	fe, fo := Split(F)
+	back := Merge(fe, fo)
+	for i := range F {
+		if d := F[i] - back[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("split/merge not inverse at %d", i)
+		}
+	}
+}
+
+func TestSplitHalvesAreFFTOfHalfPolys(t *testing.T) {
+	// f(x) = fe(x²) + x·fo(x²); Split(FFT(f)) must equal FFT(fe), FFT(fo).
+	rng := rand.New(rand.NewSource(4))
+	n := 32
+	f := randomPoly(rng, n)
+	fe := make([]float64, n/2)
+	fo := make([]float64, n/2)
+	for i := 0; i < n/2; i++ {
+		fe[i] = f[2*i]
+		fo[i] = f[2*i+1]
+	}
+	se, so := Split(FFT(f))
+	we, wo := FFT(fe), FFT(fo)
+	for i := 0; i < n/2; i++ {
+		if d := se[i] - we[i]; math.Hypot(real(d), imag(d)) > 1e-8 {
+			t.Fatalf("even half mismatch at %d", i)
+		}
+		if d := so[i] - wo[i]; math.Hypot(real(d), imag(d)) > 1e-8 {
+			t.Fatalf("odd half mismatch at %d", i)
+		}
+	}
+}
+
+func TestAdjIsRingAdjoint(t *testing.T) {
+	// adj(f)(x) = f0 − f_{n-1}x − … − f1 x^{n-1} in the negacyclic ring.
+	rng := rand.New(rand.NewSource(5))
+	n := 16
+	f := randomPoly(rng, n)
+	adj := make([]float64, n)
+	adj[0] = f[0]
+	for i := 1; i < n; i++ {
+		adj[i] = -f[n-i]
+	}
+	got := InvFFT(Adj(FFT(f)))
+	if d := maxDiff(adj, got); d > 1e-8 {
+		t.Fatalf("adjoint mismatch: %g", d)
+	}
+}
+
+func TestAddSubDivScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 8
+	a, b := randomPoly(rng, n), randomPoly(rng, n)
+	b[0] += 100 // keep b away from roots of zero in FFT domain
+	A, B := FFT(a), FFT(b)
+	sum := InvFFT(Add(A, B))
+	for i := range a {
+		if math.Abs(sum[i]-(a[i]+b[i])) > 1e-8 {
+			t.Fatal("Add wrong")
+		}
+	}
+	diff := InvFFT(Sub(A, B))
+	for i := range a {
+		if math.Abs(diff[i]-(a[i]-b[i])) > 1e-8 {
+			t.Fatal("Sub wrong")
+		}
+	}
+	q := Div(Mul(A, B), B)
+	qc := InvFFT(q)
+	if d := maxDiff(qc, a); d > 1e-6 {
+		t.Fatalf("Div(Mul(a,b),b) != a: %g", d)
+	}
+	s := InvFFT(Scale(A, 2.5))
+	for i := range a {
+		if math.Abs(s[i]-2.5*a[i]) > 1e-8 {
+			t.Fatal("Scale wrong")
+		}
+	}
+}
+
+func TestRootsPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Roots(3)
+}
+
+func TestHermitianSymmetryOfRealFFT(t *testing.T) {
+	// For real f, F[n-1-j] = conj(F[j]) (ζ_{n-1-j} = conj(ζ_j)).
+	rng := rand.New(rand.NewSource(7))
+	n := 16
+	F := FFT(randomPoly(rng, n))
+	for j := 0; j < n/2; j++ {
+		d := F[n-1-j] - complex(real(F[j]), -imag(F[j]))
+		if math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("hermitian symmetry broken at %d", j)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package gaussian computes discrete Gaussian distribution tables to
+// arbitrary fixed-point precision, the Knuth-Yao probability matrix built
+// from them, and the statistical measures (statistical distance, Rényi
+// divergence, max-log distance) used to justify a precision/tail-cut choice.
+//
+// Conventions follow the paper: the sampler works over the non-negative
+// support [0, τσ]; the probability attached to 0 is D_σ(0) and the
+// probability attached to v ≥ 1 is 2·D_σ(v) (a random sign bit restores the
+// symmetric distribution).  Probabilities are truncated — not rounded — to
+// n fractional bits, exactly as a fixed-point probability matrix stores
+// them.
+package gaussian
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"ctgauss/internal/bigfp"
+)
+
+// Params describes a discrete Gaussian instance at fixed precision.
+type Params struct {
+	Sigma   *big.Float // standard deviation σ > 0
+	N       int        // fractional precision bits (columns of the matrix)
+	TailCut float64    // τ; support is [0, ceil(τσ)]
+}
+
+// DefaultTailCut is the tail-cut factor used throughout the paper's Falcon
+// experiments.
+const DefaultTailCut = 13
+
+// Table holds the truncated probability table of a discrete Gaussian.
+type Table struct {
+	Params  Params
+	Support int        // max sample value = ceil(τσ)
+	Probs   []*big.Int // Probs[v] = floor(p_v · 2^N), folded (×2 for v ≥ 1)
+}
+
+// NewParams builds Params from a decimal σ string.
+func NewParams(sigma string, n int, tailCut float64) (Params, error) {
+	if n <= 0 {
+		return Params{}, fmt.Errorf("gaussian: precision must be positive, got %d", n)
+	}
+	if tailCut <= 0 {
+		return Params{}, fmt.Errorf("gaussian: tail-cut must be positive, got %v", tailCut)
+	}
+	s, err := bigfp.ParseSigma(sigma, uint(n)+96)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{Sigma: s, N: n, TailCut: tailCut}, nil
+}
+
+// MustParams is NewParams for tests and examples with known-good input.
+func MustParams(sigma string, n int, tailCut float64) Params {
+	p, err := NewParams(sigma, n, tailCut)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewTable computes the folded, truncated probability table for p.
+//
+// The folded distribution over [0, S] is
+//
+//	p_0 = ρ(0)/Z,  p_v = 2ρ(v)/Z (v ≥ 1),  Z = ρ(0) + 2·Σ_{v=1..S} ρ(v)
+//
+// with ρ(v) = exp(-v²/2σ²), then each p_v is truncated to N fractional bits.
+func NewTable(p Params) (*Table, error) {
+	if p.Sigma == nil || p.Sigma.Sign() <= 0 {
+		return nil, fmt.Errorf("gaussian: invalid sigma")
+	}
+	sf, _ := p.Sigma.Float64()
+	support := int(math.Ceil(p.TailCut * sf))
+	if support < 1 {
+		support = 1
+	}
+	prec := uint(p.N) + 96
+
+	rho := make([]*big.Float, support+1)
+	z := new(big.Float).SetPrec(prec)
+	for v := 0; v <= support; v++ {
+		rho[v] = bigfp.Gauss(int64(v), p.Sigma, prec)
+		if v == 0 {
+			z.Add(z, rho[v])
+		} else {
+			z.Add(z, new(big.Float).SetPrec(prec).Mul(rho[v], big.NewFloat(2)))
+		}
+	}
+
+	t := &Table{Params: p, Support: support, Probs: make([]*big.Int, support+1)}
+	two := big.NewFloat(2).SetPrec(prec)
+	for v := 0; v <= support; v++ {
+		pv := new(big.Float).SetPrec(prec).Quo(rho[v], z)
+		if v > 0 {
+			pv.Mul(pv, two)
+		}
+		t.Probs[v] = bigfp.FixedFromFloat(pv, p.N)
+	}
+	return t, nil
+}
+
+// Matrix returns the Knuth-Yao probability matrix: row v, column c holds the
+// bit of weight 2^-(c+1) of the folded probability of sample v.  Dimensions
+// are (Support+1) × N.
+func (t *Table) Matrix() [][]byte {
+	m := make([][]byte, t.Support+1)
+	for v := range m {
+		row := make([]byte, t.Params.N)
+		for c := 0; c < t.Params.N; c++ {
+			row[c] = byte(t.Probs[v].Bit(t.Params.N - 1 - c))
+		}
+		m[v] = row
+	}
+	return m
+}
+
+// ColumnWeights returns h_c, the Hamming weight of each matrix column —
+// the number of DDG-tree leaves at level c.
+func (t *Table) ColumnWeights() []int {
+	h := make([]int, t.Params.N)
+	for c := 0; c < t.Params.N; c++ {
+		for v := 0; v <= t.Support; v++ {
+			h[c] += int(t.Probs[v].Bit(t.Params.N - 1 - c))
+		}
+	}
+	return h
+}
+
+// MassDeficit returns 1 − Σ_v p_v as a fixed-point integer in units of
+// 2^-N.  Truncation makes the stored distribution sum to slightly below
+// one; the deficit is the probability that an N-bit Knuth-Yao walk falls
+// off the truncated tree.
+func (t *Table) MassDeficit() *big.Int {
+	one := new(big.Int).Lsh(big.NewInt(1), uint(t.Params.N))
+	sum := new(big.Int)
+	for _, p := range t.Probs {
+		sum.Add(sum, p)
+	}
+	return one.Sub(one, sum)
+}
+
+// FoldedProb returns the folded probability of v as a float64 (for tests
+// and statistics; the authoritative values are the fixed-point Probs).
+func (t *Table) FoldedProb(v int) float64 {
+	if v < 0 || v > t.Support {
+		return 0
+	}
+	f := new(big.Float).SetInt(t.Probs[v])
+	f.SetMantExp(f, -t.Params.N)
+	out, _ := f.Float64()
+	return out
+}
+
+// SignedProb returns the probability the symmetric sampler emits z ∈ ℤ.
+func (t *Table) SignedProb(z int) float64 {
+	if z == 0 {
+		return t.FoldedProb(0)
+	}
+	a := z
+	if a < 0 {
+		a = -a
+	}
+	return t.FoldedProb(a) / 2
+}
+
+// StatDistance returns the statistical distance (in float64) between the
+// truncated fixed-point distribution and the ideal folded discrete
+// Gaussian restricted to [0, Support].
+func (t *Table) StatDistance() float64 {
+	prec := uint(t.Params.N) + 96
+	z := new(big.Float).SetPrec(prec)
+	rho := make([]*big.Float, t.Support+1)
+	for v := 0; v <= t.Support; v++ {
+		rho[v] = bigfp.Gauss(int64(v), t.Params.Sigma, prec)
+		if v == 0 {
+			z.Add(z, rho[v])
+		} else {
+			z.Add(z, new(big.Float).SetPrec(prec).Mul(rho[v], big.NewFloat(2)))
+		}
+	}
+	half := new(big.Float).SetPrec(prec)
+	for v := 0; v <= t.Support; v++ {
+		ideal := new(big.Float).SetPrec(prec).Quo(rho[v], z)
+		if v > 0 {
+			ideal.Mul(ideal, big.NewFloat(2))
+		}
+		stored := new(big.Float).SetPrec(prec).SetInt(t.Probs[v])
+		stored.SetMantExp(stored, -t.Params.N)
+		d := new(big.Float).SetPrec(prec).Sub(ideal, stored)
+		d.Abs(d)
+		half.Add(half, d)
+	}
+	half.Quo(half, big.NewFloat(2))
+	out, _ := half.Float64()
+	return out
+}
+
+// MaxLogDistance returns max_v |ln(ideal_v) − ln(stored_v)| over the
+// support, the distance measure of Micciancio-Walter.  Entries whose stored
+// probability is zero are skipped (they contribute to StatDistance
+// instead).
+func (t *Table) MaxLogDistance() float64 {
+	sf, _ := t.Params.Sigma.Float64()
+	var worst float64
+	for v := 0; v <= t.Support; v++ {
+		stored := t.FoldedProb(v)
+		if stored == 0 {
+			continue
+		}
+		ideal := idealFolded(v, sf, t.Support)
+		d := math.Abs(math.Log(ideal) - math.Log(stored))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RenyiDivergence returns the Rényi divergence of order a between the
+// ideal folded distribution P and the stored distribution Q:
+// ( Σ P^a / Q^(a-1) )^(1/(a-1)).  Stored-zero entries are skipped.
+func (t *Table) RenyiDivergence(a float64) float64 {
+	if a <= 1 {
+		panic("gaussian: Rényi order must exceed 1")
+	}
+	sf, _ := t.Params.Sigma.Float64()
+	var sum float64
+	for v := 0; v <= t.Support; v++ {
+		q := t.FoldedProb(v)
+		if q == 0 {
+			continue
+		}
+		p := idealFolded(v, sf, t.Support)
+		sum += math.Pow(p, a) / math.Pow(q, a-1)
+	}
+	return math.Pow(sum, 1/(a-1))
+}
+
+func idealFolded(v int, sigma float64, support int) float64 {
+	var z float64
+	for u := 0; u <= support; u++ {
+		r := math.Exp(-float64(u*u) / (2 * sigma * sigma))
+		if u == 0 {
+			z += r
+		} else {
+			z += 2 * r
+		}
+	}
+	r := math.Exp(-float64(v*v) / (2 * sigma * sigma))
+	if v > 0 {
+		r *= 2
+	}
+	return r / z
+}
+
+// TailMass returns the (ideal, float64) probability mass beyond the
+// support, Σ_{|z| > S} D_σ(z), bounding the error introduced by the
+// tail-cut itself.
+func (t *Table) TailMass() float64 {
+	sf, _ := t.Params.Sigma.Float64()
+	var in, out float64
+	for z := -8 * t.Support; z <= 8*t.Support; z++ {
+		p := math.Exp(-float64(z*z) / (2 * sf * sf))
+		if z >= -t.Support && z <= t.Support {
+			in += p
+		} else {
+			out += p
+		}
+	}
+	return out / (in + out)
+}

@@ -1,0 +1,209 @@
+package gaussian
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func table(t *testing.T, sigma string, n int, tau float64) *Table {
+	t.Helper()
+	p, err := NewParams(sigma, n, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTableSigma2MatchesFloat(t *testing.T) {
+	tb := table(t, "2", 64, 13)
+	// Ideal folded distribution computed in float64.
+	sf := 2.0
+	var z float64
+	for v := 0; v <= tb.Support; v++ {
+		r := math.Exp(-float64(v*v) / (2 * sf * sf))
+		if v == 0 {
+			z += r
+		} else {
+			z += 2 * r
+		}
+	}
+	for v := 0; v <= tb.Support; v++ {
+		want := math.Exp(-float64(v*v)/(2*sf*sf)) / z
+		if v > 0 {
+			want *= 2
+		}
+		got := tb.FoldedProb(v)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("p[%d] = %g, want %g", v, got, want)
+		}
+	}
+}
+
+func TestSupportSize(t *testing.T) {
+	tb := table(t, "2", 32, 13)
+	if tb.Support != 26 {
+		t.Fatalf("support = %d, want 26", tb.Support)
+	}
+	tb = table(t, "6.15543", 32, 13)
+	if tb.Support != 81 { // ceil(13*6.15543) = ceil(80.02) = 81
+		t.Fatalf("support = %d, want 81", tb.Support)
+	}
+}
+
+func TestMatrixDimensionsAndBits(t *testing.T) {
+	tb := table(t, "2", 16, 13)
+	m := tb.Matrix()
+	if len(m) != tb.Support+1 {
+		t.Fatalf("rows = %d, want %d", len(m), tb.Support+1)
+	}
+	for v, row := range m {
+		if len(row) != 16 {
+			t.Fatalf("row %d has %d cols, want 16", v, len(row))
+		}
+		// Reassemble the fixed-point value from the bits.
+		acc := new(big.Int)
+		for _, b := range row {
+			acc.Lsh(acc, 1)
+			if b == 1 {
+				acc.Or(acc, big.NewInt(1))
+			}
+		}
+		if acc.Cmp(tb.Probs[v]) != 0 {
+			t.Fatalf("row %d bits disagree with Probs", v)
+		}
+	}
+}
+
+func TestColumnWeightsSumEqualsTotalBits(t *testing.T) {
+	tb := table(t, "2", 24, 13)
+	h := tb.ColumnWeights()
+	var sumH int
+	for _, x := range h {
+		sumH += x
+	}
+	var popcount int
+	for _, p := range tb.Probs {
+		for i := 0; i < p.BitLen(); i++ {
+			if p.Bit(i) == 1 {
+				popcount++
+			}
+		}
+	}
+	if sumH != popcount {
+		t.Fatalf("Σh = %d, popcount = %d", sumH, popcount)
+	}
+}
+
+func TestMassDeficitSmallAndNonNegative(t *testing.T) {
+	tb := table(t, "2", 64, 13)
+	d := tb.MassDeficit()
+	if d.Sign() < 0 {
+		t.Fatalf("deficit negative: %v", d)
+	}
+	// Deficit is at most (support+1) units of 2^-N (one truncation each)
+	// plus the tail mass; for n=64, τ=13 it must be far below 2^-40·2^64.
+	limit := new(big.Int).Lsh(big.NewInt(1), 64-32)
+	if d.Cmp(limit) > 0 {
+		t.Fatalf("deficit too large: %v", d)
+	}
+}
+
+func TestStatDistanceShrinksWithPrecision(t *testing.T) {
+	d32 := table(t, "2", 32, 13).StatDistance()
+	d64 := table(t, "2", 64, 13).StatDistance()
+	if d64 > d32 {
+		t.Fatalf("stat distance grew with precision: %g vs %g", d32, d64)
+	}
+	if d32 > math.Pow(2, -24) {
+		t.Fatalf("stat distance at n=32 too large: %g", d32)
+	}
+	if d64 > math.Pow(2, -55) {
+		t.Fatalf("stat distance at n=64 too large: %g", d64)
+	}
+}
+
+func TestMaxLogAndRenyiFinite(t *testing.T) {
+	tb := table(t, "2", 53, 13)
+	// Truncation dominates the smallest non-zero stored probability, so the
+	// max-log distance is bounded by ~ln(1 + 1/k) where k·2^-53 is the
+	// smallest kept entry — small but not float-epsilon small.
+	ml := tb.MaxLogDistance()
+	if math.IsNaN(ml) || ml > 0.1 {
+		t.Fatalf("max-log distance = %g", ml)
+	}
+	// It must shrink as precision grows.
+	ml96 := table(t, "2", 96, 13).MaxLogDistance()
+	if ml96 > ml {
+		t.Fatalf("max-log grew with precision: %g -> %g", ml, ml96)
+	}
+	r := tb.RenyiDivergence(2)
+	if math.IsNaN(r) || r < 1 || r > 1.0001 {
+		t.Fatalf("Rényi divergence = %g", r)
+	}
+}
+
+func TestRenyiPanicsOnBadOrder(t *testing.T) {
+	tb := table(t, "2", 16, 13)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.RenyiDivergence(1)
+}
+
+func TestTailMassTiny(t *testing.T) {
+	tb := table(t, "2", 16, 13)
+	if tm := tb.TailMass(); tm > 1e-30 {
+		t.Fatalf("tail mass = %g, want < 1e-30 for τ=13", tm)
+	}
+}
+
+func TestSignedProbSymmetry(t *testing.T) {
+	tb := table(t, "2", 40, 13)
+	var total float64
+	for z := -tb.Support; z <= tb.Support; z++ {
+		p := tb.SignedProb(z)
+		if p != tb.SignedProb(-z) {
+			t.Fatalf("asymmetric at %d", z)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("signed probabilities sum to %g", total)
+	}
+}
+
+func TestNewParamsErrors(t *testing.T) {
+	if _, err := NewParams("2", 0, 13); err == nil {
+		t.Fatal("expected error for zero precision")
+	}
+	if _, err := NewParams("2", 16, 0); err == nil {
+		t.Fatal("expected error for zero tail-cut")
+	}
+	if _, err := NewParams("bogus", 16, 13); err == nil {
+		t.Fatal("expected error for bad sigma")
+	}
+}
+
+func TestFigure1MatrixSigma2N6(t *testing.T) {
+	// Fig. 1 of the paper: σ=2, n=6 probability matrix. We verify the
+	// structural property used there: row 0 is D(0) to 6 bits, and each row
+	// reassembles to floor(p·64).
+	tb := table(t, "2", 6, 13)
+	m := tb.Matrix()
+	if len(m) < 6 {
+		t.Fatalf("expected at least 6 rows, got %d", len(m))
+	}
+	// p0 ≈ 0.19947/ (normalised) — just check the first bits are plausible:
+	// all probabilities < 1 so leading bit may be 0 or 1; total mass deficit
+	// must be < (support+1)/64.
+	if d := tb.MassDeficit().Int64(); d < 0 || d > int64(tb.Support+1) {
+		t.Fatalf("n=6 deficit = %d", d)
+	}
+}

@@ -1,0 +1,162 @@
+// Package ntru solves the NTRU equation fG − gF = q over Z[x]/(x^N+1) —
+// the heart of Falcon key generation — using the field-norm tower: descend
+// to degree 1 by repeated field norms, solve with the extended Euclidean
+// algorithm, lift back up, and Babai-reduce (F, G) against (f, g) at every
+// level to keep coefficients polynomial-size.
+package ntru
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"ctgauss/internal/fft"
+	"ctgauss/internal/poly"
+)
+
+// ErrNotCoprime is returned when the resultant gcd at the bottom of the
+// tower is not 1; the caller should resample f and g.
+var ErrNotCoprime = errors.New("ntru: Res(f,x^N+1) and Res(g,x^N+1) are not coprime")
+
+// Solve returns F, G with fG − gF = q in Z[x]/(x^N+1).
+func Solve(f, g poly.P, q int64) (F, G poly.P, err error) {
+	F, G, err = solveRec(f, g, q)
+	if err != nil {
+		return poly.P{}, poly.P{}, err
+	}
+	// Final safety reduction at the top level.
+	reduce(&F, &G, f, g)
+	return F, G, nil
+}
+
+func solveRec(f, g poly.P, q int64) (F, G poly.P, err error) {
+	n := f.N()
+	if n == 1 {
+		return solveBase(f, g, q)
+	}
+	fp := poly.FieldNorm(f)
+	gp := poly.FieldNorm(g)
+	Fp, Gp, err := solveRec(fp, gp, q)
+	if err != nil {
+		return poly.P{}, poly.P{}, err
+	}
+	// Lift: F = F'(x²)·g(−x), G = G'(x²)·f(−x).
+	F = poly.Mul(poly.LiftSub(Fp), poly.Conj(g))
+	G = poly.Mul(poly.LiftSub(Gp), poly.Conj(f))
+	reduce(&F, &G, f, g)
+	return F, G, nil
+}
+
+func solveBase(f, g poly.P, q int64) (F, G poly.P, err error) {
+	u := new(big.Int)
+	v := new(big.Int)
+	d := new(big.Int).GCD(u, v, f.Coeffs[0], g.Coeffs[0])
+	if d.CmpAbs(big.NewInt(1)) != 0 {
+		return poly.P{}, poly.P{}, ErrNotCoprime
+	}
+	// u·f0 + v·g0 = ±1; normalise to +1.
+	if d.Sign() < 0 {
+		u.Neg(u)
+		v.Neg(v)
+	}
+	// f·G − g·F = q with G = u·q, F = −v·q.
+	bq := big.NewInt(q)
+	F = poly.New(1)
+	G = poly.New(1)
+	G.Coeffs[0].Mul(u, bq)
+	F.Coeffs[0].Mul(v, bq)
+	F.Coeffs[0].Neg(F.Coeffs[0])
+	return F, G, nil
+}
+
+// reduce performs the scaled Babai round-off of Pornin's reference keygen:
+// repeatedly compute k ≈ (F·adj f + G·adj g)/(f·adj f + g·adj g) from the
+// top ~47 bits of the operands in the complex Fourier domain, and subtract
+// k·f, k·g shifted back up.  Each pass removes ~tens of bits from F, G.
+func reduce(F, G *poly.P, f, g poly.P) {
+	const fracBits = 47 // top bits carried into float64
+	sizeFG0 := -1
+	for iter := 0; iter < 4096; iter++ {
+		sizefg := maxInt(f.MaxBitLen(), g.MaxBitLen())
+		sizeFG := maxInt(F.MaxBitLen(), G.MaxBitLen())
+		if sizeFG < sizefg+10 {
+			return
+		}
+		if sizeFG == sizeFG0 {
+			return // no progress
+		}
+		sizeFG0 = sizeFG
+
+		scaleFG := uint(maxInt(0, sizeFG-fracBits))
+		scalefg := uint(maxInt(0, sizefg-fracBits))
+
+		Ff := fft.FFT(F.ShiftRight(scaleFG).Float64s())
+		Gf := fft.FFT(G.ShiftRight(scaleFG).Float64s())
+		ff := fft.FFT(f.ShiftRight(scalefg).Float64s())
+		gf := fft.FFT(g.ShiftRight(scalefg).Float64s())
+
+		den := fft.Add(fft.Mul(ff, fft.Adj(ff)), fft.Mul(gf, fft.Adj(gf)))
+		num := fft.Add(fft.Mul(Ff, fft.Adj(ff)), fft.Mul(Gf, fft.Adj(gf)))
+		bad := false
+		for _, d := range den {
+			if math.Abs(real(d)) < 1e-9 {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			return
+		}
+		kf := fft.InvFFT(fft.Div(num, den))
+
+		k := poly.New(f.N())
+		allZero := true
+		for i, c := range kf {
+			r := math.Round(c)
+			if r != 0 {
+				allZero = false
+			}
+			if math.Abs(r) > 1e18 {
+				// Beyond exact float64 integer range: truncate this pass.
+				r = math.Trunc(c/1e6) * 1e6
+			}
+			k.Coeffs[i].SetInt64(int64(r))
+		}
+		if allZero {
+			return
+		}
+		// F -= (k·f) << (scaleFG − scalefg)
+		shift := scaleFG - scalefg
+		kf2 := poly.Mul(k, f)
+		kg2 := poly.Mul(k, g)
+		for i := range kf2.Coeffs {
+			kf2.Coeffs[i].Lsh(kf2.Coeffs[i], shift)
+			kg2.Coeffs[i].Lsh(kg2.Coeffs[i], shift)
+		}
+		*F = poly.Sub(*F, kf2)
+		*G = poly.Sub(*G, kg2)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Verify checks fG − gF == q exactly.
+func Verify(f, g, F, G poly.P, q int64) error {
+	lhs := poly.Sub(poly.Mul(f, G), poly.Mul(g, F))
+	want := big.NewInt(q)
+	if lhs.Coeffs[0].Cmp(want) != 0 {
+		return fmt.Errorf("ntru: constant term %v, want %d", lhs.Coeffs[0], q)
+	}
+	for i := 1; i < lhs.N(); i++ {
+		if lhs.Coeffs[i].Sign() != 0 {
+			return fmt.Errorf("ntru: coefficient %d nonzero: %v", i, lhs.Coeffs[i])
+		}
+	}
+	return nil
+}

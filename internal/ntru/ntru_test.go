@@ -1,0 +1,102 @@
+package ntru
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctgauss/internal/poly"
+)
+
+const q = 12289
+
+func gaussianish(rng *rand.Rand, n int, spread int) poly.P {
+	p := poly.New(n)
+	for i := 0; i < n; i++ {
+		// crude centered small distribution is enough for solver tests
+		v := int64(0)
+		for k := 0; k < 4; k++ {
+			v += int64(rng.Intn(2*spread+1) - spread)
+		}
+		p.Coeffs[i].SetInt64(v / 2)
+	}
+	return p
+}
+
+func solveOnce(t *testing.T, rng *rand.Rand, n, spread int) (f, g, F, G poly.P) {
+	t.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		f = gaussianish(rng, n, spread)
+		g = gaussianish(rng, n, spread)
+		var err error
+		F, G, err = Solve(f, g, q)
+		if err == nil {
+			return f, g, F, G
+		}
+	}
+	t.Fatal("could not solve NTRU equation in 50 attempts")
+	return
+}
+
+func TestSolveDegree1(t *testing.T) {
+	f := poly.FromInt64([]int64{3})
+	g := poly.FromInt64([]int64{5})
+	F, G, err := Solve(f, g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f, g, F, G, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveNotCoprime(t *testing.T) {
+	f := poly.FromInt64([]int64{4})
+	g := poly.FromInt64([]int64{6})
+	if _, _, err := Solve(f, g, q); err == nil {
+		t.Fatal("expected ErrNotCoprime for gcd 2")
+	}
+}
+
+func TestSolveSmallDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		f, g, F, G := solveOnce(t, rng, n, 3)
+		if err := Verify(f, g, F, G, q); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSolveReducesCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	_, _, F, G := solveOnce(t, rng, 64, 3)
+	// Babai reduction must keep F, G polynomially small: comfortably below
+	// 64 bits for n=64 with tiny f,g (unreduced growth would be hundreds).
+	if F.MaxBitLen() > 64 || G.MaxBitLen() > 64 {
+		t.Fatalf("F/G too large: %d/%d bits", F.MaxBitLen(), G.MaxBitLen())
+	}
+}
+
+func TestSolveDegree256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := rand.New(rand.NewSource(13))
+	f, g, F, G := solveOnce(t, rng, 256, 4)
+	if err := Verify(f, g, F, G, q); err != nil {
+		t.Fatal(err)
+	}
+	if F.MaxBitLen() > 96 {
+		t.Fatalf("F too large: %d bits", F.MaxBitLen())
+	}
+}
+
+func TestVerifyDetectsWrongSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f, g, F, G := solveOnce(t, rng, 8, 3)
+	F.Coeffs[0].Add(F.Coeffs[0], F.Coeffs[0].SetInt64(1).Add(F.Coeffs[0], F.Coeffs[0])) // corrupt
+	F.Coeffs[0].SetInt64(12345678)
+	if err := Verify(f, g, F, G, q); err == nil {
+		t.Fatal("corrupted solution passed verification")
+	}
+}

@@ -1,0 +1,187 @@
+// Package ntt implements the negacyclic number-theoretic transform modulo
+// the Falcon prime q = 12289 for ring degrees N ∈ {2,…,2048}, used for
+// exact arithmetic in Z_q[x]/(x^N+1): public-key computation (h = g·f⁻¹)
+// and signature verification (s1 = c − s2·h).
+package ntt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Q is the Falcon modulus, 12289 = 3·2^12 + 1.
+const Q = 12289
+
+// primitiveRoot is a generator of Z_Q^* (11 generates the full group of
+// order 12288; verified by the package tests).
+const primitiveRoot = 11
+
+// ctx holds precomputed twiddle factors for one ring degree.
+type ctx struct {
+	n       int
+	psiRev  []uint32 // ψ^bitrev(i), ψ a primitive 2N-th root
+	ipsiRev []uint32 // ψ^-bitrev(i)
+	nInv    uint32
+}
+
+var (
+	ctxMu sync.Mutex
+	ctxBy = map[int]*ctx{}
+)
+
+func modPow(b, e, m uint64) uint64 {
+	r := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			r = r * b % m
+		}
+		b = b * b % m
+		e >>= 1
+	}
+	return r
+}
+
+func bitrev(x, bits uint) uint {
+	var r uint
+	for i := uint(0); i < bits; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+func getCtx(n int) *ctx {
+	ctxMu.Lock()
+	defer ctxMu.Unlock()
+	if c, ok := ctxBy[n]; ok {
+		return c
+	}
+	if n < 2 || n&(n-1) != 0 || (Q-1)%(2*n) != 0 {
+		panic(fmt.Sprintf("ntt: unsupported ring degree %d", n))
+	}
+	// ψ = g^((Q-1)/2N) has order exactly 2N; ψ^N = -1 gives negacyclic.
+	psi := modPow(primitiveRoot, uint64((Q-1)/(2*n)), Q)
+	ipsi := modPow(psi, Q-2, Q)
+	bits := uint(0)
+	for 1<<bits < n {
+		bits++
+	}
+	c := &ctx{n: n, psiRev: make([]uint32, n), ipsiRev: make([]uint32, n)}
+	for i := 0; i < n; i++ {
+		r := bitrev(uint(i), bits)
+		c.psiRev[i] = uint32(modPow(psi, uint64(r), Q))
+		c.ipsiRev[i] = uint32(modPow(ipsi, uint64(r), Q))
+	}
+	c.nInv = uint32(modPow(uint64(n), Q-2, Q))
+	ctxBy[n] = c
+	return c
+}
+
+// Forward transforms a in place to the NTT domain (negacyclic, ψ-folded,
+// bit-reversed ordering internally — only Pointwise and Inverse consume
+// it).  Coefficients must be < Q.
+func Forward(a []uint32) {
+	c := getCtx(len(a))
+	n := len(a)
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			s := uint64(c.psiRev[m+i])
+			for j := j1; j < j1+t; j++ {
+				u := uint64(a[j])
+				v := uint64(a[j+t]) * s % Q
+				a[j] = uint32((u + v) % Q)
+				a[j+t] = uint32((u + Q - v) % Q)
+			}
+		}
+	}
+}
+
+// Inverse transforms a in place back to coefficient representation.
+func Inverse(a []uint32) {
+	c := getCtx(len(a))
+	n := len(a)
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			s := uint64(c.ipsiRev[h+i])
+			for j := j1; j < j1+t; j++ {
+				u, v := uint64(a[j]), uint64(a[j+t])
+				a[j] = uint32((u + v) % Q)
+				a[j+t] = uint32((u + Q - v) % Q * s % Q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a {
+		a[i] = uint32(uint64(a[i]) * uint64(c.nInv) % Q)
+	}
+}
+
+// Pointwise multiplies two NTT-domain vectors into dst (dst may alias).
+func Pointwise(dst, a, b []uint32) {
+	for i := range dst {
+		dst[i] = uint32(uint64(a[i]) * uint64(b[i]) % Q)
+	}
+}
+
+// MulPoly returns the negacyclic product of coefficient vectors a and b.
+func MulPoly(a, b []uint32) []uint32 {
+	x := append([]uint32(nil), a...)
+	y := append([]uint32(nil), b...)
+	Forward(x)
+	Forward(y)
+	Pointwise(x, x, y)
+	Inverse(x)
+	return x
+}
+
+// Inv returns f^{-1} in Z_q[x]/(x^N+1), or an error when f is not
+// invertible (some NTT coefficient is zero).
+func Inv(f []uint32) ([]uint32, error) {
+	x := append([]uint32(nil), f...)
+	Forward(x)
+	for i, v := range x {
+		if v == 0 {
+			return nil, fmt.Errorf("ntt: polynomial not invertible (zero at NTT slot %d)", i)
+		}
+		x[i] = uint32(modPow(uint64(v), Q-2, Q))
+	}
+	Inverse(x)
+	return x, nil
+}
+
+// Invertible reports whether f is invertible mod (q, x^N+1).
+func Invertible(f []uint32) bool {
+	x := append([]uint32(nil), f...)
+	Forward(x)
+	for _, v := range x {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Center maps a residue mod Q to the symmetric interval (−Q/2, Q/2].
+func Center(v uint32) int32 {
+	x := int32(v % Q)
+	if x > Q/2 {
+		x -= Q
+	}
+	return x
+}
+
+// FromSigned reduces a signed coefficient into [0, Q).
+func FromSigned(v int64) uint32 {
+	v %= Q
+	if v < 0 {
+		v += Q
+	}
+	return uint32(v)
+}

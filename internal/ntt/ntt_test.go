@@ -1,0 +1,166 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRootOrder(t *testing.T) {
+	// 11 must have order exactly Q-1 = 12288 = 2^12 · 3.
+	if modPow(primitiveRoot, Q-1, Q) != 1 {
+		t.Fatal("not a root of unity")
+	}
+	for _, p := range []uint64{2, 3} {
+		if modPow(primitiveRoot, (Q-1)/p, Q) == 1 {
+			t.Fatalf("order divides (Q-1)/%d — not primitive", p)
+		}
+	}
+}
+
+func TestPsiIsNegacyclic(t *testing.T) {
+	for _, n := range []int{8, 256, 512, 1024} {
+		psi := modPow(primitiveRoot, uint64((Q-1)/(2*n)), Q)
+		if modPow(psi, uint64(n), Q) != Q-1 {
+			t.Fatalf("n=%d: ψ^n != -1", n)
+		}
+	}
+}
+
+func randPoly(rng *rand.Rand, n int) []uint32 {
+	f := make([]uint32, n)
+	for i := range f {
+		f[i] = uint32(rng.Intn(Q))
+	}
+	return f
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 64, 256, 512, 1024} {
+		f := randPoly(rng, n)
+		g := append([]uint32(nil), f...)
+		Forward(g)
+		Inverse(g)
+		for i := range f {
+			if f[i] != g[i] {
+				t.Fatalf("n=%d: roundtrip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func naiveNegacyclic(a, b []uint32) []uint32 {
+	n := len(a)
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := int64(a[i]) * int64(b[j]) % Q
+			k := i + j
+			if k >= n {
+				out[k-n] -= v
+			} else {
+				out[k] += v
+			}
+		}
+	}
+	res := make([]uint32, n)
+	for i, v := range out {
+		res[i] = FromSigned(v)
+	}
+	return res
+}
+
+func TestMulPolyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 32, 128} {
+		a, b := randPoly(rng, n), randPoly(rng, n)
+		want := naiveNegacyclic(a, b)
+		got := MulPoly(a, b)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d: product mismatch at %d: %d vs %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInvProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	for trial := 0; trial < 5; trial++ {
+		f := randPoly(rng, n)
+		inv, err := Inv(f)
+		if err != nil {
+			continue // rare non-invertible draw
+		}
+		prod := MulPoly(f, inv)
+		if prod[0] != 1 {
+			t.Fatalf("f·f⁻¹ constant term = %d", prod[0])
+		}
+		for i := 1; i < n; i++ {
+			if prod[i] != 0 {
+				t.Fatalf("f·f⁻¹ coeff %d = %d", i, prod[i])
+			}
+		}
+	}
+}
+
+func TestNonInvertibleDetected(t *testing.T) {
+	f := make([]uint32, 8) // zero polynomial
+	if Invertible(f) {
+		t.Fatal("zero reported invertible")
+	}
+	if _, err := Inv(f); err == nil {
+		t.Fatal("expected error for zero polynomial")
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if Center(0) != 0 || Center(1) != 1 || Center(Q-1) != -1 || Center(Q/2) != Q/2 {
+		t.Fatal("Center wrong")
+	}
+	if Center(Q/2+1) != -(Q / 2) {
+		t.Fatalf("Center(Q/2+1) = %d", Center(Q/2+1))
+	}
+}
+
+func TestFromSigned(t *testing.T) {
+	f := func(v int64) bool {
+		r := FromSigned(v)
+		if r >= Q {
+			return false
+		}
+		return (int64(r)-v)%Q == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	a, b := randPoly(rng, n), randPoly(rng, n)
+	sum := make([]uint32, n)
+	for i := range sum {
+		sum[i] = (a[i] + b[i]) % Q
+	}
+	Forward(a)
+	Forward(b)
+	Forward(sum)
+	for i := range sum {
+		if sum[i] != (a[i]+b[i])%Q {
+			t.Fatalf("NTT not linear at %d", i)
+		}
+	}
+}
+
+func TestUnsupportedDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Forward(make([]uint32, 3))
+}

@@ -1,0 +1,276 @@
+// Package poly implements arbitrary-precision polynomial arithmetic in the
+// cyclotomic rings Z[x]/(x^n+1) used by the NTRU equation solver: Karatsuba
+// multiplication, the Galois conjugate f(−x), the field norm down to the
+// half-size ring, the ring adjoint, and bit-size utilities for the scaled
+// Babai reduction.
+package poly
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// P is a polynomial in Z[x]/(x^n+1); Coeffs[i] is the coefficient of x^i
+// and len(Coeffs) is the ring degree n (a power of two, or 1).
+type P struct {
+	Coeffs []*big.Int
+}
+
+// New returns the zero polynomial of ring degree n.
+func New(n int) P {
+	c := make([]*big.Int, n)
+	for i := range c {
+		c[i] = new(big.Int)
+	}
+	return P{Coeffs: c}
+}
+
+// FromInt64 builds a polynomial from small coefficients.
+func FromInt64(cs []int64) P {
+	p := New(len(cs))
+	for i, v := range cs {
+		p.Coeffs[i].SetInt64(v)
+	}
+	return p
+}
+
+// Clone returns a deep copy.
+func (p P) Clone() P {
+	q := New(len(p.Coeffs))
+	for i, c := range p.Coeffs {
+		q.Coeffs[i].Set(c)
+	}
+	return q
+}
+
+// N returns the ring degree.
+func (p P) N() int { return len(p.Coeffs) }
+
+// IsZero reports whether every coefficient is zero.
+func (p P) IsZero() bool {
+	for _, c := range p.Coeffs {
+		if c.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p+q.
+func Add(p, q P) P {
+	mustSame(p, q)
+	out := New(p.N())
+	for i := range out.Coeffs {
+		out.Coeffs[i].Add(p.Coeffs[i], q.Coeffs[i])
+	}
+	return out
+}
+
+// Sub returns p−q.
+func Sub(p, q P) P {
+	mustSame(p, q)
+	out := New(p.N())
+	for i := range out.Coeffs {
+		out.Coeffs[i].Sub(p.Coeffs[i], q.Coeffs[i])
+	}
+	return out
+}
+
+// Neg returns −p.
+func Neg(p P) P {
+	out := New(p.N())
+	for i := range out.Coeffs {
+		out.Coeffs[i].Neg(p.Coeffs[i])
+	}
+	return out
+}
+
+// ScalarMul returns k·p.
+func ScalarMul(p P, k *big.Int) P {
+	out := New(p.N())
+	for i := range out.Coeffs {
+		out.Coeffs[i].Mul(p.Coeffs[i], k)
+	}
+	return out
+}
+
+func mustSame(p, q P) {
+	if p.N() != q.N() {
+		panic(fmt.Sprintf("poly: ring degree mismatch %d vs %d", p.N(), q.N()))
+	}
+}
+
+// Mul returns p·q in Z[x]/(x^n+1): a full Karatsuba product folded
+// negacyclically.
+func Mul(p, q P) P {
+	mustSame(p, q)
+	n := p.N()
+	full := karatsuba(p.Coeffs, q.Coeffs)
+	out := New(n)
+	for i, c := range full {
+		if c == nil {
+			continue
+		}
+		if i < n {
+			out.Coeffs[i].Add(out.Coeffs[i], c)
+		} else {
+			out.Coeffs[i-n].Sub(out.Coeffs[i-n], c)
+		}
+	}
+	return out
+}
+
+// karatsuba computes the full product (length 2len−1) of two equal-length
+// coefficient slices.
+func karatsuba(a, b []*big.Int) []*big.Int {
+	n := len(a)
+	if n <= 16 {
+		out := make([]*big.Int, 2*n-1)
+		for i := range out {
+			out[i] = new(big.Int)
+		}
+		t := new(big.Int)
+		for i := 0; i < n; i++ {
+			if a[i].Sign() == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if b[j].Sign() == 0 {
+					continue
+				}
+				t.Mul(a[i], b[j])
+				out[i+j].Add(out[i+j], t)
+			}
+		}
+		return out
+	}
+	h := n / 2
+	a0, a1 := a[:h], a[h:]
+	b0, b1 := b[:h], b[h:]
+	z0 := karatsuba(a0, b0)
+	z2 := karatsuba(a1, b1)
+	as := make([]*big.Int, len(a1))
+	bs := make([]*big.Int, len(b1))
+	for i := range as {
+		as[i] = new(big.Int).Add(a1[i], get(a0, i))
+		bs[i] = new(big.Int).Add(b1[i], get(b0, i))
+	}
+	z1 := karatsuba(as, bs)
+	out := make([]*big.Int, 2*n-1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	for i, c := range z0 {
+		out[i].Add(out[i], c)
+	}
+	for i, c := range z2 {
+		out[i+2*h].Add(out[i+2*h], c)
+	}
+	t := new(big.Int)
+	for i := range z1 {
+		t.Set(z1[i])
+		t.Sub(t, get(z0, i))
+		t.Sub(t, get(z2, i))
+		out[i+h].Add(out[i+h], t)
+	}
+	return out
+}
+
+func get(xs []*big.Int, i int) *big.Int {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return zeroBig
+}
+
+var zeroBig = new(big.Int)
+
+// Conj returns the Galois conjugate f(−x): odd coefficients negated.
+func Conj(p P) P {
+	out := New(p.N())
+	for i, c := range p.Coeffs {
+		if i%2 == 1 {
+			out.Coeffs[i].Neg(c)
+		} else {
+			out.Coeffs[i].Set(c)
+		}
+	}
+	return out
+}
+
+// Adjoint returns f*(x) = f(x^{-1}) in the ring: f0 − f_{n-1}x − … − f1
+// x^{n-1}.
+func Adjoint(p P) P {
+	n := p.N()
+	out := New(n)
+	out.Coeffs[0].Set(p.Coeffs[0])
+	for i := 1; i < n; i++ {
+		out.Coeffs[i].Neg(p.Coeffs[n-i])
+	}
+	return out
+}
+
+// FieldNorm maps f ∈ Z[x]/(x^n+1) to N(f) ∈ Z[y]/(y^{n/2}+1), defined by
+// N(f)(x²) = f(x)·f(−x).  The product has only even-index coefficients.
+func FieldNorm(p P) P {
+	n := p.N()
+	if n == 1 {
+		out := New(1)
+		out.Coeffs[0].Mul(p.Coeffs[0], p.Coeffs[0])
+		return out
+	}
+	prod := Mul(p, Conj(p))
+	out := New(n / 2)
+	for i := 0; i < n; i += 2 {
+		out.Coeffs[i/2].Set(prod.Coeffs[i])
+	}
+	return out
+}
+
+// LiftSub substitutes y = x² — the inverse direction of FieldNorm's ring
+// descent: a degree-m polynomial becomes a degree-2m polynomial with odd
+// coefficients zero.
+func LiftSub(p P) P {
+	out := New(2 * p.N())
+	for i, c := range p.Coeffs {
+		out.Coeffs[2*i].Set(c)
+	}
+	return out
+}
+
+// MaxBitLen returns the largest coefficient bit length.
+func (p P) MaxBitLen() int {
+	m := 0
+	for _, c := range p.Coeffs {
+		if l := c.BitLen(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ShiftRight returns the polynomial with every coefficient arithmetically
+// shifted right by s bits (floor division by 2^s).
+func (p P) ShiftRight(s uint) P {
+	out := New(p.N())
+	for i, c := range p.Coeffs {
+		out.Coeffs[i].Rsh(c, s)
+	}
+	return out
+}
+
+// Float64s converts coefficients to float64 (caller must pre-scale so they
+// fit).
+func (p P) Float64s() []float64 {
+	out := make([]float64, p.N())
+	for i, c := range p.Coeffs {
+		f, _ := new(big.Float).SetInt(c).Float64()
+		out[i] = f
+	}
+	return out
+}
+
+// String renders the polynomial compactly for diagnostics.
+func (p P) String() string {
+	return fmt.Sprintf("poly(n=%d, maxbits=%d)", p.N(), p.MaxBitLen())
+}

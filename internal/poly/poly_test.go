@@ -1,0 +1,196 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randP(rng *rand.Rand, n int, bound int64) P {
+	p := New(n)
+	for i := range p.Coeffs {
+		p.Coeffs[i].SetInt64(rng.Int63n(2*bound+1) - bound)
+	}
+	return p
+}
+
+func naiveMul(a, b P) P {
+	n := a.N()
+	out := New(n)
+	t := new(big.Int)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t.Mul(a.Coeffs[i], b.Coeffs[j])
+			k := i + j
+			if k >= n {
+				out.Coeffs[k-n].Sub(out.Coeffs[k-n], t)
+			} else {
+				out.Coeffs[k].Add(out.Coeffs[k], t)
+			}
+		}
+	}
+	return out
+}
+
+func equal(a, b P) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	for i := range a.Coeffs {
+		if a.Coeffs[i].Cmp(b.Coeffs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 16, 32, 64, 128} {
+		a, b := randP(rng, n, 1000), randP(rng, n, 1000)
+		if !equal(Mul(a, b), naiveMul(a, b)) {
+			t.Fatalf("n=%d: Karatsuba disagrees with naive", n)
+		}
+	}
+}
+
+func TestMulBigCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 32
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		a.Coeffs[i].Rand(rng, new(big.Int).Lsh(big.NewInt(1), 500))
+		b.Coeffs[i].Rand(rng, new(big.Int).Lsh(big.NewInt(1), 500))
+	}
+	if !equal(Mul(a, b), naiveMul(a, b)) {
+		t.Fatal("big-coefficient product mismatch")
+	}
+}
+
+func TestRingLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		a, b, c := randP(rng, n, 50), randP(rng, n, 50), randP(rng, n, 50)
+		// commutativity, associativity, distributivity
+		if !equal(Mul(a, b), Mul(b, a)) {
+			return false
+		}
+		if !equal(Mul(Mul(a, b), c), Mul(a, Mul(b, c))) {
+			return false
+		}
+		return equal(Mul(a, Add(b, c)), Add(Mul(a, b), Mul(a, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegacyclicWrap(t *testing.T) {
+	// x^{n-1} · x = -1.
+	n := 8
+	a, b := New(n), New(n)
+	a.Coeffs[n-1].SetInt64(1)
+	b.Coeffs[1].SetInt64(1)
+	p := Mul(a, b)
+	if p.Coeffs[0].Int64() != -1 {
+		t.Fatalf("x^{n-1}·x = %v, want -1", p.Coeffs[0])
+	}
+}
+
+func TestFieldNormIdentity(t *testing.T) {
+	// N(f)(x²) == f(x)·f(−x) in the big ring.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 16, 64} {
+		f := randP(rng, n, 100)
+		nf := FieldNorm(f)
+		lhs := LiftSub(nf) // N(f)(x²) in ring 2·(n/2) = n... careful
+		rhs := Mul(f, Conj(f))
+		if !equal(lhs, rhs) {
+			t.Fatalf("n=%d: field norm identity fails", n)
+		}
+	}
+}
+
+func TestFieldNormMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 16
+	a, b := randP(rng, n, 30), randP(rng, n, 30)
+	lhs := FieldNorm(Mul(a, b))
+	rhs := Mul(FieldNorm(a), FieldNorm(b))
+	if !equal(lhs, rhs) {
+		t.Fatal("field norm is not multiplicative")
+	}
+}
+
+func TestAdjointInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randP(rng, 16, 100)
+	if !equal(Adjoint(Adjoint(p)), p) {
+		t.Fatal("adjoint not an involution")
+	}
+}
+
+func TestAdjointSelfProductSymmetric(t *testing.T) {
+	// f·adj(f) is self-adjoint (real in Fourier domain).
+	rng := rand.New(rand.NewSource(6))
+	p := randP(rng, 16, 100)
+	s := Mul(p, Adjoint(p))
+	if !equal(Adjoint(s), s) {
+		t.Fatal("f·f* not self-adjoint")
+	}
+}
+
+func TestConjInvolutionAndRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := randP(rng, 16, 100), randP(rng, 16, 100)
+	if !equal(Conj(Conj(a)), a) {
+		t.Fatal("conj not involution")
+	}
+	if !equal(Conj(Mul(a, b)), Mul(Conj(a), Conj(b))) {
+		t.Fatal("conj not multiplicative")
+	}
+}
+
+func TestShiftRightAndBitLen(t *testing.T) {
+	p := FromInt64([]int64{1024, -7, 0, 3})
+	if p.MaxBitLen() != 11 {
+		t.Fatalf("MaxBitLen = %d", p.MaxBitLen())
+	}
+	q := p.ShiftRight(3)
+	if q.Coeffs[0].Int64() != 128 {
+		t.Fatalf("shift: %v", q.Coeffs[0])
+	}
+}
+
+func TestScalarOps(t *testing.T) {
+	p := FromInt64([]int64{1, 2, 3, 4})
+	k := big.NewInt(-3)
+	s := ScalarMul(p, k)
+	if s.Coeffs[2].Int64() != -9 {
+		t.Fatal("scalar mul wrong")
+	}
+	if !Neg(p).IsZero() == p.IsZero() && p.IsZero() {
+		t.Fatal("zero logic")
+	}
+	if !Sub(p, p).IsZero() {
+		t.Fatal("p-p != 0")
+	}
+	if New(4).IsZero() != true {
+		t.Fatal("zero poly not zero")
+	}
+	_ = p.String()
+	if !equal(p.Clone(), p) {
+		t.Fatal("clone mismatch")
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(New(4), New(8))
+}

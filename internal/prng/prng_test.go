@@ -1,0 +1,224 @@
+package prng
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// RFC 8439 §2.3.2 test vector.
+func TestChaCha20RFC8439Block(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	nonce := [12]byte{0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0, 0, 0, 0}
+	got := KeystreamAt(key, 1, nonce)
+	want, _ := hex.DecodeString(
+		"10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e" +
+			"d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("ChaCha20 block mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestChaCha20Deterministic(t *testing.T) {
+	a := MustChaCha20([]byte("seed"))
+	b := MustChaCha20([]byte("seed"))
+	pa := make([]byte, 1000)
+	pb := make([]byte, 1000)
+	a.Fill(pa)
+	b.Fill(pb)
+	if !bytes.Equal(pa, pb) {
+		t.Fatal("same seed must give same stream")
+	}
+	c := MustChaCha20([]byte("other"))
+	pc := make([]byte, 1000)
+	c.Fill(pc)
+	if bytes.Equal(pa, pc) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestChaCha20StreamContinuity(t *testing.T) {
+	a := MustChaCha20([]byte("x"))
+	b := MustChaCha20([]byte("x"))
+	one := make([]byte, 200)
+	a.Fill(one)
+	var parts []byte
+	for len(parts) < 200 {
+		chunk := make([]byte, 7)
+		b.Fill(chunk)
+		parts = append(parts, chunk...)
+	}
+	if !bytes.Equal(one, parts[:200]) {
+		t.Fatal("chunked reads must match one big read")
+	}
+}
+
+func TestChaCha20SeedTooLong(t *testing.T) {
+	if _, err := NewChaCha20(make([]byte, 33)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// FIPS 202: SHAKE256(""), first 32 bytes.
+func TestSHAKE256EmptyKAT(t *testing.T) {
+	got := ShakeSum256(32, nil)
+	want, _ := hex.DecodeString("46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SHAKE256(\"\") = %x, want %x", got, want)
+	}
+}
+
+// SHAKE256("abc"), first 32 bytes (NIST example values).
+func TestSHAKE256AbcKAT(t *testing.T) {
+	got := ShakeSum256(32, []byte("abc"))
+	want, _ := hex.DecodeString("483366601360a8771c6863080cc4114d8db44530f8f1e1ee4f94ea37e78b5739")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SHAKE256(abc) = %x, want %x", got, want)
+	}
+}
+
+func TestSHAKE256LongInputCrossesRate(t *testing.T) {
+	// Absorbing more than the 136-byte rate must not corrupt state;
+	// compare incremental vs one-shot absorption.
+	msg := bytes.Repeat([]byte{0xa3}, 500)
+	s1 := NewSHAKE256()
+	s1.Absorb(msg)
+	o1 := make([]byte, 64)
+	s1.Fill(o1)
+
+	s2 := NewSHAKE256()
+	for _, b := range msg {
+		s2.Absorb([]byte{b})
+	}
+	o2 := make([]byte, 64)
+	s2.Fill(o2)
+	if !bytes.Equal(o1, o2) {
+		t.Fatal("incremental absorb differs from bulk")
+	}
+}
+
+func TestSHAKEAbsorbAfterSqueezePanics(t *testing.T) {
+	s := NewSHAKE256Seeded([]byte("s"))
+	s.Fill(make([]byte, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Absorb([]byte("more"))
+}
+
+func TestSHAKESqueezeCrossesRate(t *testing.T) {
+	s := NewSHAKE256Seeded([]byte("seed"))
+	big := make([]byte, 1000)
+	s.Fill(big)
+	s2 := NewSHAKE256Seeded([]byte("seed"))
+	var parts []byte
+	for len(parts) < 1000 {
+		chunk := make([]byte, 13)
+		s2.Fill(chunk)
+		parts = append(parts, chunk...)
+	}
+	if !bytes.Equal(big, parts[:1000]) {
+		t.Fatal("chunked squeeze differs")
+	}
+}
+
+func TestAESCTRDeterministic(t *testing.T) {
+	a, err := NewAESCTR(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewAESCTR(make([]byte, 16))
+	pa, pb := make([]byte, 300), make([]byte, 300)
+	a.Fill(pa)
+	b.Fill(pb)
+	if !bytes.Equal(pa, pb) {
+		t.Fatal("AES-CTR not deterministic")
+	}
+	if bytes.Equal(pa, make([]byte, 300)) {
+		t.Fatal("AES-CTR produced zeros")
+	}
+}
+
+func TestNewSourceNames(t *testing.T) {
+	for _, name := range []string{"chacha20", "shake256", "aes-ctr"} {
+		s, err := NewSource(name, []byte("seed"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("Name() = %q, want %q", s.Name(), name)
+		}
+		p := make([]byte, 64)
+		s.Fill(p)
+	}
+	if _, err := NewSource("bogus", nil); err == nil {
+		t.Fatal("expected error for unknown source")
+	}
+}
+
+func TestBitReaderCountsBits(t *testing.T) {
+	r := NewBitReader(MustChaCha20([]byte("c")))
+	for i := 0; i < 10; i++ {
+		r.Bit()
+	}
+	if r.BitsRead != 10 {
+		t.Fatalf("BitsRead = %d, want 10", r.BitsRead)
+	}
+	r.Uint64()
+	if r.BitsRead != 74 {
+		t.Fatalf("BitsRead = %d, want 74", r.BitsRead)
+	}
+}
+
+func TestBitReaderBitOrderMatchesBytes(t *testing.T) {
+	src := MustChaCha20([]byte("order"))
+	raw := make([]byte, 16)
+	src.Fill(raw)
+
+	r := NewBitReader(MustChaCha20([]byte("order")))
+	for i := 0; i < 64; i++ {
+		want := (raw[i/8] >> uint(i%8)) & 1
+		if got := r.Bit(); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitReaderWords(t *testing.T) {
+	r := NewBitReader(MustChaCha20([]byte("w")))
+	dst := make([]uint64, 4)
+	r.Words(dst)
+	if r.BitsRead != 256 {
+		t.Fatalf("BitsRead = %d", r.BitsRead)
+	}
+	allZero := true
+	for _, w := range dst {
+		if w != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("words all zero")
+	}
+}
+
+func TestBitReaderMonobitSanity(t *testing.T) {
+	// Frequency test: roughly half the bits should be 1.
+	for _, name := range []string{"chacha20", "shake256", "aes-ctr"} {
+		src, _ := NewSource(name, []byte("monobit"))
+		r := NewBitReader(src)
+		ones := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			ones += int(r.Bit())
+		}
+		if ones < n/2-1000 || ones > n/2+1000 {
+			t.Errorf("%s: %d ones of %d", name, ones, n)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package prng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// AESCTR runs AES-128/256 in counter mode as a PRNG — the "platform
+// specific alternative" (AES-NI) the paper's conclusion suggests for
+// cutting the pseudorandom-bit cost.
+type AESCTR struct {
+	stream cipher.Stream
+	zero   []byte
+}
+
+// NewAESCTR builds an AES-CTR PRNG from a 16, 24 or 32 byte seed.
+func NewAESCTR(seed []byte) (*AESCTR, error) {
+	block, err := aes.NewCipher(seed)
+	if err != nil {
+		return nil, fmt.Errorf("prng: %w", err)
+	}
+	iv := make([]byte, block.BlockSize())
+	return &AESCTR{stream: cipher.NewCTR(block, iv), zero: make([]byte, 4096)}, nil
+}
+
+// Name implements Source.
+func (a *AESCTR) Name() string { return "aes-ctr" }
+
+// Fill implements Source.
+func (a *AESCTR) Fill(p []byte) {
+	for len(p) > 0 {
+		n := len(p)
+		if n > len(a.zero) {
+			n = len(a.zero)
+		}
+		a.stream.XORKeyStream(p[:n], a.zero[:n])
+		p = p[n:]
+	}
+}
+
+// BitReader adapts a Source to single-bit and word reads while counting
+// consumption, supporting the paper's bits-per-sample measurements (§7).
+type BitReader struct {
+	src      Source
+	buf      [512]byte
+	off      int
+	bitInOff uint
+	// BitsRead counts every random bit handed out.
+	BitsRead uint64
+}
+
+// NewBitReader wraps src.
+func NewBitReader(src Source) *BitReader {
+	r := &BitReader{src: src}
+	r.off = len(r.buf)
+	return r
+}
+
+func (r *BitReader) refill() {
+	r.src.Fill(r.buf[:])
+	r.off = 0
+	r.bitInOff = 0
+}
+
+// Bit returns the next random bit.
+func (r *BitReader) Bit() byte {
+	if r.off >= len(r.buf) {
+		r.refill()
+	}
+	b := (r.buf[r.off] >> r.bitInOff) & 1
+	r.bitInOff++
+	if r.bitInOff == 8 {
+		r.bitInOff = 0
+		r.off++
+	}
+	r.BitsRead++
+	return b
+}
+
+// Uint64 returns the next 64 random bits as a word, byte-aligned (any
+// partially consumed byte is discarded, like real implementations do).
+func (r *BitReader) Uint64() uint64 {
+	r.alignByte()
+	if r.off+8 > len(r.buf) {
+		r.refill()
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	r.BitsRead += 64
+	return v
+}
+
+// Bytes fills p with whole random bytes.
+func (r *BitReader) Bytes(p []byte) {
+	r.alignByte()
+	for len(p) > 0 {
+		if r.off >= len(r.buf) {
+			r.refill()
+		}
+		n := copy(p, r.buf[r.off:])
+		r.off += n
+		r.BitsRead += uint64(8 * n)
+		p = p[n:]
+	}
+}
+
+func (r *BitReader) alignByte() {
+	if r.bitInOff != 0 {
+		r.bitInOff = 0
+		r.off++
+	}
+}
+
+// Words fills dst with random 64-bit words (the packed bit-planes consumed
+// by the bitsliced sampler: word i carries bit i of 64 independent lanes).
+func (r *BitReader) Words(dst []uint64) {
+	for i := range dst {
+		dst[i] = r.Uint64()
+	}
+}
+
+// NewSource constructs a Source by name: "chacha20", "shake256", "aes-ctr".
+func NewSource(name string, seed []byte) (Source, error) {
+	switch name {
+	case "chacha20":
+		return NewChaCha20(seed)
+	case "shake256":
+		return NewSHAKE256Seeded(seed), nil
+	case "aes-ctr":
+		s := seed
+		if len(s) != 16 && len(s) != 24 && len(s) != 32 {
+			padded := make([]byte, 32)
+			copy(padded, s)
+			s = padded
+		}
+		return NewAESCTR(s)
+	default:
+		return nil, fmt.Errorf("prng: unknown source %q", name)
+	}
+}

@@ -1,0 +1,72 @@
+package sampler
+
+import "ctgauss/internal/prng"
+
+// Compiled is the production form of the bitsliced sampler: the circuit
+// compiled to Go source by the generator tool (cmd/gaussgen) rather than
+// interpreted instruction by instruction — exactly how the paper deploys
+// its sampler (its tool emits C that is compiled into Falcon).  The
+// instruction interpreter in Bitsliced costs a dispatch per word op; the
+// compiled function runs at native speed.
+type Compiled struct {
+	fn        func(in, out []uint64)
+	numInputs int
+	valueBits int
+	rd        *prng.BitReader
+	name      string
+	in        []uint64
+	out       []uint64
+	batch     [64]int
+	used      int
+}
+
+// NewCompiled wraps a generated circuit function.
+func NewCompiled(name string, fn func(in, out []uint64), numInputs, valueBits int, src prng.Source) *Compiled {
+	return &Compiled{
+		fn:        fn,
+		numInputs: numInputs,
+		valueBits: valueBits,
+		rd:        prng.NewBitReader(src),
+		name:      name,
+		in:        make([]uint64, numInputs),
+		out:       make([]uint64, valueBits),
+		used:      64,
+	}
+}
+
+// Name implements Sampler.
+func (c *Compiled) Name() string { return c.name }
+
+// BitsUsed implements Sampler.
+func (c *Compiled) BitsUsed() uint64 { return c.rd.BitsRead }
+
+func (c *Compiled) refill() {
+	c.rd.Words(c.in)
+	sign := c.rd.Uint64()
+	c.fn(c.in, c.out)
+	for l := 0; l < 64; l++ {
+		mag := 0
+		for i, w := range c.out {
+			mag |= int((w>>uint(l))&1) << uint(i)
+		}
+		c.batch[l] = applySign(mag, (sign>>uint(l))&1)
+	}
+	c.used = 0
+}
+
+// Next implements Sampler.
+func (c *Compiled) Next() int {
+	if c.used == 64 {
+		c.refill()
+	}
+	v := c.batch[c.used]
+	c.used++
+	return v
+}
+
+// NextBatch implements BatchSampler.
+func (c *Compiled) NextBatch(dst []int) {
+	c.refill()
+	copy(dst, c.batch[:])
+	c.used = 64
+}

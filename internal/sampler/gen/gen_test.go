@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctgauss/internal/core"
+)
+
+// TestGeneratedMatchesInterpreted is the determinism/correctness check for
+// the checked-in circuits: rebuilding the pipeline and interpreting its
+// program must agree with the compiled source on random inputs.
+func TestGeneratedMatchesInterpreted(t *testing.T) {
+	cases := []struct {
+		sigma     string
+		fn        func(in, out []uint64)
+		numInputs int
+		valueBits int
+	}{
+		{"2", Sigma2Batch, Sigma2BatchInputs, Sigma2BatchValueBits},
+		{"6.15543", Sigma615543Batch, Sigma615543BatchInputs, Sigma615543BatchValueBits},
+	}
+	for _, c := range cases {
+		b, err := core.Build(core.Config{Sigma: c.sigma, N: 128, TailCut: 13, Min: core.MinimizeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Program.NumInputs != c.numInputs || b.Program.ValueBits != c.valueBits {
+			t.Fatalf("σ=%s: shape drift: rebuild has %d/%d, generated %d/%d — rerun go generate",
+				c.sigma, b.Program.NumInputs, b.Program.ValueBits, c.numInputs, c.valueBits)
+		}
+		rng := rand.New(rand.NewSource(7))
+		in := make([]uint64, c.numInputs)
+		out := make([]uint64, c.valueBits)
+		regs := make([]uint64, b.Program.NumRegs)
+		want := make([]uint64, c.valueBits)
+		for trial := 0; trial < 200; trial++ {
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			c.fn(in, out)
+			b.Program.RunInto(in, regs, want)
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("σ=%s trial %d: generated code diverges at word %d", c.sigma, trial, i)
+				}
+			}
+		}
+	}
+}

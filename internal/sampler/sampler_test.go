@@ -1,0 +1,207 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"ctgauss/internal/gaussian"
+	"ctgauss/internal/prng"
+)
+
+func tbl(t *testing.T, sigma string, n int) *gaussian.Table {
+	t.Helper()
+	p, err := gaussian.NewParams(sigma, n, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := gaussian.NewTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func checkDistribution(t *testing.T, s Sampler, table *gaussian.Table, samples int) {
+	t.Helper()
+	counts := make(map[int]int)
+	var sum, sq float64
+	for i := 0; i < samples; i++ {
+		v := s.Next()
+		counts[v]++
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	sigma, _ := table.Params.Sigma.Float64()
+	mean := sum / float64(samples)
+	variance := sq/float64(samples) - mean*mean
+	if math.Abs(mean) > 5*sigma/math.Sqrt(float64(samples)) {
+		t.Errorf("%s: mean %.4f too far from 0", s.Name(), mean)
+	}
+	if math.Abs(variance-sigma*sigma) > 0.1*sigma*sigma {
+		t.Errorf("%s: variance %.4f, want ≈ %.4f", s.Name(), variance, sigma*sigma)
+	}
+	for z := -3; z <= 3; z++ {
+		want := table.SignedProb(z)
+		got := float64(counts[z]) / float64(samples)
+		tol := 5*math.Sqrt(want/float64(samples)) + 0.003
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: P(%d) = %.5f, want %.5f", s.Name(), z, got, want)
+		}
+	}
+}
+
+func TestKnuthYaoDistribution(t *testing.T) {
+	table := tbl(t, "2", 64)
+	s := NewKnuthYao(table, prng.MustChaCha20([]byte("ky")))
+	checkDistribution(t, s, table, 100000)
+	if s.BitsUsed() == 0 {
+		t.Fatal("BitsUsed not counted")
+	}
+}
+
+func TestCDTDistribution(t *testing.T) {
+	table := tbl(t, "2", 128)
+	checkDistribution(t, NewCDT(table, prng.MustChaCha20([]byte("cdt"))), table, 100000)
+}
+
+func TestByteScanCDTDistribution(t *testing.T) {
+	table := tbl(t, "2", 128)
+	checkDistribution(t, NewByteScanCDT(table, prng.MustChaCha20([]byte("bs"))), table, 100000)
+}
+
+func TestLinearCDTDistribution(t *testing.T) {
+	table := tbl(t, "2", 128)
+	checkDistribution(t, NewLinearCDT(table, prng.MustChaCha20([]byte("lin"))), table, 100000)
+}
+
+func TestCDTVariantsAgreeOnSameStream(t *testing.T) {
+	// All three CDT samplers consume 128 random bits + 1 sign bit per
+	// sample; on identical streams they must produce identical samples.
+	table := tbl(t, "2", 128)
+	a := NewCDT(table, prng.MustChaCha20([]byte("agree")))
+	b := NewByteScanCDT(table, prng.MustChaCha20([]byte("agree")))
+	c := NewLinearCDT(table, prng.MustChaCha20([]byte("agree")))
+	for i := 0; i < 20000; i++ {
+		va, vb, vc := a.Next(), b.Next(), c.Next()
+		if va != vb || va != vc {
+			t.Fatalf("sample %d: binary=%d bytescan=%d linear=%d", i, va, vb, vc)
+		}
+	}
+}
+
+func TestLinearCDTConstantSteps(t *testing.T) {
+	table := tbl(t, "2", 128)
+	s := NewLinearCDT(table, prng.MustChaCha20([]byte("steps")))
+	s.Next()
+	per := s.Steps
+	for i := 0; i < 1000; i++ {
+		before := s.Steps
+		s.Next()
+		if s.Steps-before != per {
+			t.Fatalf("linear CDT step count varies: %d vs %d", s.Steps-before, per)
+		}
+	}
+	if per != uint64(table.Support+1) {
+		t.Fatalf("steps per sample = %d, want table size %d", per, table.Support+1)
+	}
+}
+
+func TestByteScanStepsCorrelateWithSample(t *testing.T) {
+	// The byte-scanning sampler's work grows with the sample magnitude —
+	// the timing leak the paper's sampler removes.
+	table := tbl(t, "2", 128)
+	s := NewByteScanCDT(table, prng.MustChaCha20([]byte("leak"))) //nolint
+	stepsByMag := make(map[int][]uint64)
+	for i := 0; i < 50000; i++ {
+		before := s.Steps
+		v := s.Next()
+		if v < 0 {
+			v = -v
+		}
+		stepsByMag[v] = append(stepsByMag[v], s.Steps-before)
+	}
+	avg := func(xs []uint64) float64 {
+		var t uint64
+		for _, x := range xs {
+			t += x
+		}
+		return float64(t) / float64(len(xs))
+	}
+	if len(stepsByMag[0]) == 0 || len(stepsByMag[3]) == 0 {
+		t.Skip("not enough samples")
+	}
+	if avg(stepsByMag[3]) <= avg(stepsByMag[0]) {
+		t.Fatalf("expected larger magnitudes to take more scan work: mag0=%.2f mag3=%.2f",
+			avg(stepsByMag[0]), avg(stepsByMag[3]))
+	}
+}
+
+func TestConvolutionVariance(t *testing.T) {
+	table := tbl(t, "2", 64)
+	base := NewKnuthYao(table, prng.MustChaCha20([]byte("conv")))
+	c := &Convolution{Base: base, K: 4}
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := float64(c.Next())
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	// σ² = σ_b²(1+k²) = 4·17 = 68.
+	if math.Abs(variance-68) > 3 {
+		t.Fatalf("conv variance = %.2f, want ≈ 68", variance)
+	}
+	if c.Name() == "" || c.BitsUsed() == 0 {
+		t.Fatal("metadata missing")
+	}
+}
+
+func TestApplySign(t *testing.T) {
+	if applySign(5, 0) != 5 || applySign(5, 1) != -5 || applySign(0, 1) != 0 {
+		t.Fatalf("applySign broken: %d %d %d", applySign(5, 0), applySign(5, 1), applySign(0, 1))
+	}
+}
+
+func TestBranchFreeComparators(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 0}, {0, 1}, {^uint64(0), 0}, {0, ^uint64(0)},
+		{1 << 63, 1}, {1, 1 << 63}, {^uint64(0), ^uint64(0)},
+		{12345, 12345}, {1 << 63, 1 << 63}, {(1 << 63) - 1, 1 << 63},
+	}
+	for _, c := range cases {
+		wantLess := uint64(0)
+		if c.a < c.b {
+			wantLess = 1
+		}
+		wantEq := uint64(0)
+		if c.a == c.b {
+			wantEq = 1
+		}
+		if isLess(c.a, c.b) != wantLess {
+			t.Errorf("isLess(%d,%d) = %d, want %d", c.a, c.b, isLess(c.a, c.b), wantLess)
+		}
+		if isEqual(c.a, c.b) != wantEq {
+			t.Errorf("isEqual(%d,%d) = %d, want %d", c.a, c.b, isEqual(c.a, c.b), wantEq)
+		}
+		if isGreater(c.a, c.b) != isLess(c.b, c.a) {
+			t.Errorf("isGreater inconsistent at (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestKnuthYaoBitsPerSampleSmall(t *testing.T) {
+	// Knuth-Yao needs ≈ entropy + 2 bits on average — the reason the paper
+	// contrasts its 128-bit constant-time cost against this.
+	table := tbl(t, "2", 64)
+	s := NewKnuthYao(table, prng.MustChaCha20([]byte("bits")))
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Next()
+	}
+	avg := float64(s.BitsUsed()) / n
+	if avg < 3 || avg > 9 {
+		t.Fatalf("avg bits/sample = %.2f", avg)
+	}
+}
