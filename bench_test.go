@@ -22,6 +22,7 @@ import (
 	"ctgauss/falcon"
 	"ctgauss/internal/core"
 	"ctgauss/internal/prng"
+	"ctgauss/internal/registry"
 	"ctgauss/internal/sampler"
 	"ctgauss/internal/sampler/gen"
 )
@@ -345,4 +346,92 @@ func BenchmarkLargeSigmaConvolution(b *testing.B) {
 		acc += conv.Next()
 	}
 	_ = acc
+}
+
+// BenchmarkBuildMinimization compares the serial and parallel fan-out of
+// the per-sublist exact minimization — the tentpole build-time speedup
+// (proportional to core count; this machine may be single-core).
+func BenchmarkBuildMinimization(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Build(core.Config{Sigma: "2", N: 128, TailCut: 13, Min: core.MinimizeExact, Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryCacheHit measures the serve-side latency of a warmed
+// registry — the amortized cost every caller after the first pays.
+func BenchmarkRegistryCacheHit(b *testing.B) {
+	reg := registry.New("")
+	cfg := core.Config{Sigma: "2", N: 128, TailCut: 13, Min: core.MinimizeExact}
+	if _, err := reg.Get(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Get(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryDiskLoad measures the O(load) repeat-build path: a cold
+// in-memory registry deserializing the compiled circuit from disk.
+func BenchmarkRegistryDiskLoad(b *testing.B) {
+	dir := b.TempDir()
+	cfg := core.Config{Sigma: "2", N: 128, TailCut: 13, Min: core.MinimizeExact}
+	if _, err := registry.New(dir).Get(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art, err := registry.New(dir).Get(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !art.FromDisk {
+			b.Fatal("expected disk hit")
+		}
+	}
+}
+
+// BenchmarkPoolThroughput measures concurrent serving at 1/4/16 callers
+// against a pool with one shard per caller.
+func BenchmarkPoolThroughput(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+			pool, err := ctgauss.NewPool("2", g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			wg.Add(g)
+			per := b.N / g
+			rem := b.N % g
+			for i := 0; i < g; i++ {
+				n := per
+				if i < rem {
+					n++
+				}
+				go func(n int) {
+					defer wg.Done()
+					dst := make([]int, 64)
+					for j := 0; j < n; j++ {
+						pool.NextBatch(dst)
+					}
+				}(n)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N*64)/(b.Elapsed().Seconds()+1e-12), "samples/sec")
+		})
+	}
 }

@@ -1,35 +1,129 @@
 // Command samplebench regenerates Table 2 (sampler cost: this work vs the
-// simple minimization of [21]) and the §7 PRNG-overhead measurement.
+// simple minimization of [21]) and the §7 PRNG-overhead measurement, and
+// measures the concurrent serving pool.
 //
 // Usage:
 //
-//	samplebench               # Table 2
+//	samplebench                         # Table 2
 //	samplebench -prng-overhead
+//	samplebench -parallel               # build pipeline + pool throughput
+//	samplebench -parallel -cache DIR    # ... with the on-disk circuit cache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"ctgauss"
 	"ctgauss/internal/core"
 	"ctgauss/internal/prng"
+	"ctgauss/internal/registry"
 	"ctgauss/internal/sampler"
 	"ctgauss/internal/sampler/gen"
 )
 
 func main() {
 	overhead := flag.Bool("prng-overhead", false, "measure the PRNG share of sampling time (§7)")
+	parallelMode := flag.Bool("parallel", false, "measure parallel build, cache hits, and pool serving throughput")
+	goroutines := flag.String("goroutines", "1,4,16", "comma-separated pool caller counts for -parallel")
+	cacheDir := flag.String("cache", "", "on-disk circuit cache directory for -parallel (default: memory only)")
+	sigma := flag.String("sigma", "2", "σ for -parallel")
 	batches := flag.Int("batches", 20000, "64-sample batches per measurement")
 	cyclesPerNs := flag.Float64("ghz", 2.6, "clock in GHz for the cycles column (paper: 2.6)")
 	flag.Parse()
+
+	// Point the process-wide registry at the cache directory before
+	// anything can touch registry.Shared() (it latches the environment on
+	// first use), so -cache governs both the measurements and the pools.
+	if *cacheDir != "" {
+		os.Setenv("CTGAUSS_CACHE_DIR", *cacheDir)
+	}
 
 	if *overhead {
 		prngOverhead(*batches)
 		return
 	}
+	if *parallelMode {
+		parallelBench(*sigma, *goroutines, *batches)
+		return
+	}
 	table2(*batches, *cyclesPerNs)
+}
+
+// parallelBench exercises the build-once/serve-many path end to end:
+// serial vs parallel minimization, registry cache-hit latency, and pool
+// throughput under concurrent callers.
+func parallelBench(sigma, goroutines string, batches int) {
+	fmt.Printf("build-once/serve-many — σ=%s, n=128, τ=13, %d CPUs\n\n", sigma, runtime.NumCPU())
+
+	cfg := core.Config{Sigma: sigma, N: 128, TailCut: 13, Min: core.MinimizeExact}
+
+	cfg.Workers = 1
+	start := time.Now()
+	_, err := core.Build(cfg)
+	check(err)
+	serial := time.Since(start)
+
+	cfg.Workers = 0
+	start = time.Now()
+	_, err = core.Build(cfg)
+	check(err)
+	par := time.Since(start)
+	fmt.Printf("core.Build serial   %12s\n", serial.Round(time.Microsecond))
+	fmt.Printf("core.Build parallel %12s   (%.2fx)\n", par.Round(time.Microsecond), float64(serial)/float64(par))
+
+	// The shared registry (cache dir set in main) serves both these
+	// measurements and the pools below, so they share one artifact.
+	reg := registry.Shared()
+	start = time.Now()
+	_, err = reg.Get(cfg)
+	check(err)
+	cold := time.Since(start)
+	start = time.Now()
+	art, err := reg.Get(cfg)
+	check(err)
+	hot := time.Since(start)
+	fmt.Printf("registry cold get   %12s   (from disk: %v)\n", cold.Round(time.Microsecond), art.FromDisk)
+	fmt.Printf("registry cache hit  %12s\n\n", hot.Round(time.Microsecond))
+
+	fmt.Printf("%-10s %14s %16s\n", "callers", "ns/batch", "samples/sec")
+	for _, field := range strings.Split(goroutines, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(field))
+		check(err)
+		if g < 1 {
+			check(fmt.Errorf("-goroutines values must be ≥ 1, got %d", g))
+		}
+		pool, err := ctgauss.NewPoolWithConfig(ctgauss.Config{Sigma: sigma}, g)
+		check(err)
+		elapsed := drivePool(pool, g, batches)
+		total := batches * g
+		ns := float64(elapsed.Nanoseconds()) / float64(total)
+		fmt.Printf("%-10d %14.0f %16.0f\n", g, ns, float64(total*64)/elapsed.Seconds())
+	}
+}
+
+// drivePool runs g goroutines each drawing `batches` 64-sample batches.
+func drivePool(pool *ctgauss.Pool, g, batches int) time.Duration {
+	var wg sync.WaitGroup
+	wg.Add(g)
+	start := time.Now()
+	for i := 0; i < g; i++ {
+		go func() {
+			defer wg.Done()
+			dst := make([]int, 64)
+			for b := 0; b < batches; b++ {
+				pool.NextBatch(dst)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
 }
 
 func timeBatches(s *sampler.Bitsliced, batches int) time.Duration {
@@ -57,12 +151,9 @@ func table2(batches int, ghz float64) {
 		d2 := timeBatches(s2, batches)
 
 		// The generated, compiled circuit (the paper's deployment form).
-		var fn func(in, out []uint64)
-		var nin, nv int
-		if sigma == "2" {
-			fn, nin, nv = gen.Sigma2Batch, gen.Sigma2BatchInputs, gen.Sigma2BatchValueBits
-		} else {
-			fn, nin, nv = gen.Sigma615543Batch, gen.Sigma615543BatchInputs, gen.Sigma615543BatchValueBits
+		fn, nin, nv, ok := gen.Lookup(sigma)
+		if !ok {
+			check(fmt.Errorf("no generated circuit for σ=%s", sigma))
 		}
 		sc := sampler.NewCompiled("compiled", fn, nin, nv, prng.MustChaCha20([]byte("bench")))
 		dst := make([]int, 64)

@@ -1,0 +1,52 @@
+package ctgauss
+
+import (
+	"testing"
+
+	"ctgauss/internal/gaussian"
+)
+
+// TestConfigNormalizeDefaults pins the documented defaults: n = 128,
+// τ = 13, exact minimization, ChaCha20 with the fixed test seed.
+func TestConfigNormalizeDefaults(t *testing.T) {
+	c := Config{Sigma: "2"}.normalize()
+	if c.Sigma != "2" {
+		t.Fatalf("Sigma = %q, want untouched", c.Sigma)
+	}
+	if c.Precision != 128 {
+		t.Fatalf("Precision = %d, want 128", c.Precision)
+	}
+	if c.TailCut != gaussian.DefaultTailCut || gaussian.DefaultTailCut != 13 {
+		t.Fatalf("TailCut = %v, want 13", c.TailCut)
+	}
+	if c.Minimizer != MinimizeExact {
+		t.Fatalf("Minimizer = %v, want MinimizeExact", c.Minimizer)
+	}
+	if string(c.Seed) != "ctgauss-default-seed" {
+		t.Fatalf("Seed = %q, want the fixed test seed", c.Seed)
+	}
+	if c.PRNG != "chacha20" {
+		t.Fatalf("PRNG = %q, want chacha20", c.PRNG)
+	}
+	if c.Workers != 0 {
+		t.Fatalf("Workers = %d, want 0 (all CPUs)", c.Workers)
+	}
+}
+
+// TestConfigNormalizeKeepsExplicit checks that set fields survive.
+func TestConfigNormalizeKeepsExplicit(t *testing.T) {
+	in := Config{
+		Sigma:     "6.15543",
+		Precision: 64,
+		TailCut:   10,
+		Minimizer: MinimizeGreedy,
+		Seed:      []byte("mine"),
+		PRNG:      "aes-ctr",
+		Workers:   3,
+	}
+	c := in.normalize()
+	if c.Precision != 64 || c.TailCut != 10 || c.Minimizer != MinimizeGreedy ||
+		string(c.Seed) != "mine" || c.PRNG != "aes-ctr" || c.Workers != 3 {
+		t.Fatalf("normalize clobbered explicit fields: %+v", c)
+	}
+}

@@ -16,6 +16,14 @@
 //	s, err := ctgauss.New("2")               // σ = 2, n = 128, τ = 13
 //	z := s.Next()                            // one signed sample
 //	batch := make([]int, 64); s.NextBatch(batch)
+//
+// For concurrent serving, NewPool returns a Pool whose Next/NextBatch are
+// safe for any number of goroutines; pools share compiled circuits through
+// a process-wide registry (optionally persisted on disk via the
+// CTGAUSS_CACHE_DIR environment variable), so a configuration is built at
+// most once per process no matter how many pools request it.  New and
+// NewWithConfig bypass the registry: each Sampler runs its own build so it
+// can expose the full pipeline artefacts (Prob, GenerateGo).
 package ctgauss
 
 import (
@@ -54,6 +62,10 @@ type Config struct {
 	// PRNG selects the generator: "chacha20" (default), "shake256",
 	// "aes-ctr".
 	PRNG string
+	// Workers bounds the goroutines used by the build-time Boolean
+	// minimization (0 = all CPUs, 1 = serial).  It affects build speed
+	// only, never the generated circuit.
+	Workers int
 }
 
 func (c Config) normalize() Config {
@@ -91,6 +103,7 @@ func NewWithConfig(cfg Config) (*Sampler, error) {
 		N:       cfg.Precision,
 		TailCut: cfg.TailCut,
 		Min:     cfg.Minimizer,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,68 @@
+package ctgauss_test
+
+import (
+	"fmt"
+
+	"ctgauss"
+)
+
+// The default configuration reproduces the paper's Falcon setting
+// (n = 128, τ = 13) and a fixed test seed, so this output is
+// deterministic.  Pass Config.Seed for production randomness.
+func ExampleNew() {
+	s, err := ctgauss.New("2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Stats())
+	fmt.Println("first samples:", s.Next(), s.Next(), s.Next(), s.Next())
+	// Output:
+	// σ=2 n=128: Δ=5, 1139 leaves in 125 sublists, 3588 word ops, 8384 bits/batch
+	// first samples: 1 -3 3 4
+}
+
+func ExampleSampler_NextBatch() {
+	s, err := ctgauss.NewWithConfig(ctgauss.Config{Sigma: "2", Precision: 48})
+	if err != nil {
+		panic(err)
+	}
+	// 64 samples per call — the native bitsliced granularity: one
+	// evaluation of the constant-time circuit fills all 64 lanes.
+	batch := make([]int, 64)
+	s.NextBatch(batch)
+	fmt.Println(batch[:8])
+	// Output:
+	// [1 3 3 -4 -1 1 -2 -1]
+}
+
+func ExampleNewLargeSigma() {
+	// A small-σ base sampler plus the convolution z = z₁ + k·z₂ yields
+	// σ_eff ≈ σ_base·√(1+k²) — here ≈ 2·√(1+10²) ≈ 20.1 — far cheaper
+	// than building a circuit for σ = 20 directly.
+	base, err := ctgauss.NewWithConfig(ctgauss.Config{Sigma: "2", Precision: 48})
+	if err != nil {
+		panic(err)
+	}
+	wide := ctgauss.NewLargeSigma(base, 10)
+	fmt.Println(wide.Next(), wide.Next(), wide.Next())
+	// Output:
+	// 31 -37 9
+}
+
+func ExampleNewPool() {
+	// A Pool serves one compiled circuit to any number of goroutines;
+	// shards hold independent PRNG streams derived from one seed.
+	pool, err := ctgauss.NewPoolWithConfig(ctgauss.Config{
+		Sigma:     "2",
+		Precision: 48,
+		Seed:      []byte("example"),
+	}, 4)
+	if err != nil {
+		panic(err)
+	}
+	batch := make([]int, 64)
+	pool.NextBatch(batch) // safe to call from concurrent goroutines
+	fmt.Println(pool.Size(), batch[:6])
+	// Output:
+	// 4 [-1 2 1 2 2 -4]
+}

@@ -1,0 +1,3 @@
+module ctgauss
+
+go 1.24

@@ -21,6 +21,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ctgauss/internal/bitslice"
 	"ctgauss/internal/boolmin"
@@ -62,6 +65,10 @@ type Config struct {
 	N       int     // precision bits (the paper's Falcon runs use 128)
 	TailCut float64 // τ (the paper's Falcon runs use 13)
 	Min     Minimizer
+	// Workers bounds the goroutines used for the per-sublist Boolean
+	// minimization: 0 means runtime.NumCPU(), 1 forces the serial path.
+	// It affects build time only, never the built artefact.
+	Workers int
 }
 
 // DefaultConfig returns the paper's Falcon-experiment configuration for a
@@ -103,7 +110,7 @@ func Build(cfg Config) (*Built, error) {
 		return nil, err
 	}
 	valueBits := tree.MaxValueBits()
-	subs, err := MinimizeSublists(tree, cfg.Min)
+	subs, err := MinimizeSublistsWorkers(tree, cfg.Min, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -130,46 +137,118 @@ func Build(cfg Config) (*Built, error) {
 }
 
 // MinimizeSublists converts every sublist l_κ into minimized per-bit
-// Boolean functions f^{ι,κ}_Δ over the Δ payload variables.
+// Boolean functions f^{ι,κ}_Δ over the Δ payload variables, using all
+// available CPUs.
 func MinimizeSublists(tree *ddg.Tree, min Minimizer) ([]bitslice.SublistFuncs, error) {
+	return MinimizeSublistsWorkers(tree, min, 0)
+}
+
+// MinimizeSublistsWorkers is MinimizeSublists with an explicit worker
+// bound (0 = runtime.NumCPU(), 1 = serial).  Each f^{ι,κ}_Δ is an
+// independent two-level minimization, so the (sublist, bit) grid fans out
+// across workers; results are merged into position-indexed slices, so the
+// output is identical to the serial path regardless of scheduling.
+func MinimizeSublistsWorkers(tree *ddg.Tree, min Minimizer, workers int) ([]bitslice.SublistFuncs, error) {
+	if min != MinimizeExact && min != MinimizeGreedy && min != MinimizeNone {
+		return nil, fmt.Errorf("core: unknown minimizer %d", min)
+	}
 	delta := tree.Delta
 	valueBits := tree.MaxValueBits()
-	var out []bitslice.SublistFuncs
-	for _, sub := range tree.Sublists() {
-		values, err := sublistValueTable(sub, delta)
+	subs := tree.Sublists()
+	out := make([]bitslice.SublistFuncs, len(subs))
+	values := make([][]int, len(subs))
+	for i, sub := range subs {
+		v, err := sublistValueTable(sub, delta)
 		if err != nil {
 			return nil, err
 		}
-		sf := bitslice.SublistFuncs{K: sub.K, SOPs: make([]boolmin.SOP, valueBits)}
+		values[i] = v
+		out[i] = bitslice.SublistFuncs{K: sub.K, SOPs: make([]boolmin.SOP, valueBits)}
+	}
+
+	type job struct{ si, bit int }
+	jobs := make([]job, 0, len(subs)*valueBits)
+	for si := range subs {
 		for bit := 0; bit < valueBits; bit++ {
-			tt := boolmin.NewTruthTable(delta)
-			for a, v := range values {
-				switch {
-				case v < 0:
-					tt.Out[a] = boolmin.DC
-				case v>>uint(bit)&1 == 1:
-					tt.Out[a] = boolmin.One
-				default:
-					tt.Out[a] = boolmin.Zero
-				}
-			}
-			var sop boolmin.SOP
-			switch min {
-			case MinimizeExact:
-				sop = boolmin.MinimizeExact(tt)
-			case MinimizeGreedy:
-				sop = boolmin.MinimizeGreedy(tt)
-			case MinimizeNone:
-				sop = rawSOP(tt)
-			default:
-				return nil, fmt.Errorf("core: unknown minimizer %d", min)
-			}
-			if !tt.Equivalent(sop) {
-				return nil, fmt.Errorf("core: minimized SOP diverges from truth table (σ sublist %d bit %d)", sub.K, bit)
-			}
-			sf.SOPs[bit] = sop
+			jobs = append(jobs, job{si, bit})
 		}
-		out = append(out, sf)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	errs := make([]error, len(jobs))
+	run := func(j job) error {
+		tt := boolmin.NewTruthTable(delta)
+		for a, v := range values[j.si] {
+			switch {
+			case v < 0:
+				tt.Out[a] = boolmin.DC
+			case v>>uint(j.bit)&1 == 1:
+				tt.Out[a] = boolmin.One
+			default:
+				tt.Out[a] = boolmin.Zero
+			}
+		}
+		var sop boolmin.SOP
+		switch min {
+		case MinimizeExact:
+			sop = boolmin.MinimizeExact(tt)
+		case MinimizeGreedy:
+			sop = boolmin.MinimizeGreedy(tt)
+		case MinimizeNone:
+			sop = rawSOP(tt)
+		}
+		if !tt.Equivalent(sop) {
+			return fmt.Errorf("core: minimized SOP diverges from truth table (sublist κ=%d bit %d)", subs[j.si].K, j.bit)
+		}
+		out[j.si].SOPs[j.bit] = sop
+		return nil
+	}
+	// A failure dooms the whole build, so remaining jobs abort early
+	// rather than grinding through the rest of the minimization grid.
+	var failed atomic.Bool
+	if workers == 1 {
+		for ji, j := range jobs {
+			if errs[ji] = run(j); errs[ji] != nil {
+				break
+			}
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for ji := range next {
+					if failed.Load() {
+						continue
+					}
+					if errs[ji] = run(jobs[ji]); errs[ji] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		for ji := range jobs {
+			next <- ji
+		}
+		close(next)
+		wg.Wait()
+	}
+	// Report the lowest-indexed recorded error so the serial path is
+	// fully deterministic (parallel runs may abort at different points).
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

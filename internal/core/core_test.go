@@ -241,3 +241,50 @@ func TestFullPrecisionBuildSigma2(t *testing.T) {
 		t.Fatalf("variance = %.3f, want ≈ 4", variance)
 	}
 }
+
+// TestParallelMinimizationDeterministic checks the tentpole invariant of
+// the parallel build: fanning the (sublist, bit) minimizations across
+// workers must produce bit-identical artefacts to the serial path, for
+// every minimizer and regardless of worker count.
+func TestParallelMinimizationDeterministic(t *testing.T) {
+	for _, min := range []Minimizer{MinimizeExact, MinimizeGreedy, MinimizeNone} {
+		serial, err := Build(Config{Sigma: "2", N: 64, TailCut: 13, Min: min, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 16} {
+			par, err := Build(Config{Sigma: "2", N: 64, TailCut: 13, Min: min, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Sublists) != len(serial.Sublists) {
+				t.Fatalf("min=%v workers=%d: %d sublists, want %d", min, workers, len(par.Sublists), len(serial.Sublists))
+			}
+			for i, sf := range par.Sublists {
+				want := serial.Sublists[i]
+				if sf.K != want.K || len(sf.SOPs) != len(want.SOPs) {
+					t.Fatalf("min=%v workers=%d: sublist %d shape mismatch", min, workers, i)
+				}
+				for bit, sop := range sf.SOPs {
+					ws := want.SOPs[bit]
+					if sop.NVars != ws.NVars || len(sop.Cubes) != len(ws.Cubes) {
+						t.Fatalf("min=%v workers=%d: sublist %d bit %d SOP mismatch", min, workers, i, bit)
+					}
+					for ci, c := range sop.Cubes {
+						if c != ws.Cubes[ci] {
+							t.Fatalf("min=%v workers=%d: sublist %d bit %d cube %d differs", min, workers, i, bit, ci)
+						}
+					}
+				}
+			}
+			if got, want := par.Program.OpCount(), serial.Program.OpCount(); got != want {
+				t.Fatalf("min=%v workers=%d: op count %d, want %d", min, workers, got, want)
+			}
+			for i, in := range par.Program.Code {
+				if in != serial.Program.Code[i] {
+					t.Fatalf("min=%v workers=%d: instruction %d differs", min, workers, i)
+				}
+			}
+		}
+	}
+}

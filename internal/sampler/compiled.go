@@ -16,8 +16,7 @@ type Compiled struct {
 	name      string
 	in        []uint64
 	out       []uint64
-	batch     [64]int
-	used      int
+	batchBuf
 }
 
 // NewCompiled wraps a generated circuit function.
@@ -30,7 +29,7 @@ func NewCompiled(name string, fn func(in, out []uint64), numInputs, valueBits in
 		name:      name,
 		in:        make([]uint64, numInputs),
 		out:       make([]uint64, valueBits),
-		used:      64,
+		batchBuf:  batchBuf{used: 64},
 	}
 }
 
@@ -55,18 +54,8 @@ func (c *Compiled) refill() {
 }
 
 // Next implements Sampler.
-func (c *Compiled) Next() int {
-	if c.used == 64 {
-		c.refill()
-	}
-	v := c.batch[c.used]
-	c.used++
-	return v
-}
+func (c *Compiled) Next() int { return c.next(c.refill) }
 
-// NextBatch implements BatchSampler.
-func (c *Compiled) NextBatch(dst []int) {
-	c.refill()
-	copy(dst, c.batch[:])
-	c.used = 64
-}
+// NextBatch implements BatchSampler; see batchBuf for the drain-first
+// contract.
+func (c *Compiled) NextBatch(dst []int) { c.nextBatch(dst, c.refill) }

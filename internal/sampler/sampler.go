@@ -46,30 +46,67 @@ func applySign(mag int, s uint64) int {
 	return int(int64((m ^ neg) + (s & 1)))
 }
 
+// batchBuf is the 64-sample buffer behind the bitsliced samplers,
+// implementing the shared Next/NextBatch contract over a refill function
+// that regenerates batch and resets used.  NextBatch drains samples
+// already buffered by Next before spending a fresh circuit evaluation, so
+// nothing is discarded and batch-only callers get exactly one evaluation
+// per call.
+type batchBuf struct {
+	batch [64]int
+	used  int
+}
+
+func (b *batchBuf) next(refill func()) int {
+	if b.used == 64 {
+		refill()
+	}
+	v := b.batch[b.used]
+	b.used++
+	return v
+}
+
+func (b *batchBuf) nextBatch(dst []int, refill func()) {
+	if len(dst) < 64 {
+		panic(fmt.Sprintf("sampler: NextBatch dst has len %d, need ≥ 64", len(dst)))
+	}
+	n := 0
+	for b.used < 64 && n < 64 {
+		dst[n] = b.batch[b.used]
+		b.used++
+		n++
+	}
+	if n < 64 {
+		refill()
+		m := 64 - n
+		copy(dst[n:64], b.batch[:m])
+		b.used = m
+	}
+}
+
 // Bitsliced is the paper's constant-time sampler: a compiled straight-line
 // circuit evaluated on 64 lanes of packed random bits.
 type Bitsliced struct {
-	prog    *bitslice.Program
-	rd      *prng.BitReader
-	name    string
-	in      []uint64
-	regs    []uint64
-	out     []uint64
-	batch   [64]int
-	used    int
+	prog *bitslice.Program
+	rd   *prng.BitReader
+	name string
+	in   []uint64
+	regs []uint64
+	out  []uint64
+	batchBuf
 	Batches uint64 // number of 64-sample batches generated
 }
 
 // NewBitsliced wraps a compiled program and a random source.
 func NewBitsliced(name string, prog *bitslice.Program, src prng.Source) *Bitsliced {
 	return &Bitsliced{
-		prog: prog,
-		rd:   prng.NewBitReader(src),
-		name: name,
-		in:   make([]uint64, prog.NumInputs),
-		regs: make([]uint64, prog.NumRegs),
-		out:  make([]uint64, len(prog.Outputs)),
-		used: 64,
+		prog:     prog,
+		rd:       prng.NewBitReader(src),
+		name:     name,
+		in:       make([]uint64, prog.NumInputs),
+		regs:     make([]uint64, prog.NumRegs),
+		out:      make([]uint64, len(prog.Outputs)),
+		batchBuf: batchBuf{used: 64},
 	}
 }
 
@@ -98,21 +135,11 @@ func (b *Bitsliced) refill() {
 }
 
 // Next implements Sampler.
-func (b *Bitsliced) Next() int {
-	if b.used == 64 {
-		b.refill()
-	}
-	v := b.batch[b.used]
-	b.used++
-	return v
-}
+func (b *Bitsliced) Next() int { return b.next(b.refill) }
 
-// NextBatch implements BatchSampler.
-func (b *Bitsliced) NextBatch(dst []int) {
-	b.refill()
-	copy(dst, b.batch[:])
-	b.used = 64
-}
+// NextBatch implements BatchSampler; see batchBuf for the drain-first
+// contract.
+func (b *Bitsliced) NextBatch(dst []int) { b.nextBatch(dst, b.refill) }
 
 // KnuthYao is the reference non-constant-time column-scanning sampler
 // (Algorithm 1): it consumes one bit per tree level and stops at a leaf.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"ctgauss/internal/bitslice"
 	"ctgauss/internal/gaussian"
 	"ctgauss/internal/prng"
 )
@@ -203,5 +204,54 @@ func TestKnuthYaoBitsPerSampleSmall(t *testing.T) {
 	avg := float64(s.BitsUsed()) / n
 	if avg < 3 || avg > 9 {
 		t.Fatalf("avg bits/sample = %.2f", avg)
+	}
+}
+
+// TestNextBatchDrainsBuffered pins the no-discard contract: interleaving
+// Next and NextBatch yields the same stream as Next alone — NextBatch
+// serves buffered samples before spending a fresh circuit evaluation.
+func TestNextBatchDrainsBuffered(t *testing.T) {
+	// Identity circuit: one input word, the magnitude bit is the input.
+	prog := &bitslice.Program{
+		NumInputs: 1, NumRegs: 1, Outputs: []int{0},
+		SignInput: -1, ValueBits: 1, MaxSupport: 1,
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fn := func(in, out []uint64) { out[0] = in[0] }
+
+	for _, mk := range []struct {
+		name string
+		make func() BatchSampler
+	}{
+		{"bitsliced", func() BatchSampler {
+			return NewBitsliced("t", prog, prng.MustChaCha20([]byte("drain")))
+		}},
+		{"compiled", func() BatchSampler {
+			return NewCompiled("t", fn, 1, 1, prng.MustChaCha20([]byte("drain")))
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			mixed, pure := mk.make(), mk.make()
+			var got, want []int
+			for i := 0; i < 10; i++ {
+				got = append(got, mixed.Next())
+			}
+			batch := make([]int, 64)
+			mixed.NextBatch(batch)
+			got = append(got, batch...)
+			for i := 0; i < 10; i++ {
+				got = append(got, mixed.Next())
+			}
+			for range got {
+				want = append(want, pure.Next())
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: mixed %d, pure %d", i, got[i], want[i])
+				}
+			}
+		})
 	}
 }

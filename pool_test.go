@@ -1,0 +1,178 @@
+package ctgauss_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ctgauss"
+)
+
+// poolCfg builds at reduced precision so pool tests stay fast; the
+// circuit shape is the same as the paper's configuration.
+var poolCfg = ctgauss.Config{Sigma: "2", Precision: 48}
+
+func TestPoolSamplesInSupport(t *testing.T) {
+	p, err := ctgauss.NewPoolWithConfig(poolCfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	st := p.Stats()
+	if st.Support == 0 || st.WordOps == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	nonzero := 0
+	for i := 0; i < 1024; i++ {
+		v := p.Next()
+		if v < -st.Support || v > st.Support {
+			t.Fatalf("sample %d out of support ±%d", v, st.Support)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("all-zero stream")
+	}
+}
+
+// TestPoolConcurrentNextBatch is the acceptance-criteria test: many
+// goroutines hammering NextBatch concurrently (run under -race in CI).
+// Every batch must stay in support and the aggregate variance must match
+// σ² — a wrong lock would manifest as torn batches or a skewed moment.
+func TestPoolConcurrentNextBatch(t *testing.T) {
+	p, err := ctgauss.NewPoolWithConfig(poolCfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	support := p.Stats().Support
+	const goroutines = 16
+	const batchesEach = 200
+	var mu sync.Mutex
+	var sum, sq float64
+	var n int
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			dst := make([]int, 64)
+			var ls, lq float64
+			for i := 0; i < batchesEach; i++ {
+				if g2 := i % 2; g2 == 0 {
+					p.NextBatch(dst)
+				} else {
+					for j := range dst {
+						dst[j] = p.Next()
+					}
+				}
+				for _, v := range dst {
+					if v < -support || v > support {
+						t.Errorf("sample %d out of support ±%d", v, support)
+						return
+					}
+					ls += float64(v)
+					lq += float64(v) * float64(v)
+				}
+			}
+			mu.Lock()
+			sum += ls
+			sq += lq
+			n += batchesEach * 64
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %f, want ≈ 0", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("variance = %f, want ≈ 4", variance)
+	}
+}
+
+// TestPoolDeterministicFromSeed: with a fixed seed and single-goroutine
+// use, two identically configured pools produce identical streams.
+func TestPoolDeterministicFromSeed(t *testing.T) {
+	mk := func() *ctgauss.Pool {
+		cfg := poolCfg
+		cfg.Seed = []byte("pool-determinism")
+		p, err := ctgauss.NewPoolWithConfig(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("sample %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+// TestPoolShardsIndependent: distinct shards must not replay each other's
+// stream (the per-shard seed derivation is domain-separated).
+func TestPoolShardsIndependent(t *testing.T) {
+	p, err := ctgauss.NewPoolWithConfig(poolCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin over 2 shards: even draws hit one shard, odd the other.
+	var even, odd []int
+	for i := 0; i < 256; i++ {
+		v := p.Next()
+		if i%2 == 0 {
+			even = append(even, v)
+		} else {
+			odd = append(odd, v)
+		}
+	}
+	same := true
+	for i := range even {
+		if even[i] != odd[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("both shards produced the identical stream")
+	}
+}
+
+// TestPoolCompiledPathMatchesInterpreter: the σ=2/n=128 configuration uses
+// the generated native circuit; it must produce the same distribution as
+// the interpreted program (exact equality is already tested in
+// internal/sampler/gen).
+func TestPoolCompiledPathMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-precision build")
+	}
+	p, err := ctgauss.NewPool("2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq float64
+	const n = 1 << 15
+	for i := 0; i < n; i++ {
+		v := float64(p.Next())
+		sq += v * v
+	}
+	if v := sq / n; math.Abs(v-4) > 0.3 {
+		t.Fatalf("variance %f, want ≈ 4", v)
+	}
+}
+
+func TestPoolBadConfig(t *testing.T) {
+	if _, err := ctgauss.NewPool("not-a-number", 2); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ctgauss.NewPoolWithConfig(ctgauss.Config{Sigma: "2", Precision: 48, PRNG: "bad"}, 2); err == nil {
+		t.Fatal("expected error for bad PRNG")
+	}
+}
