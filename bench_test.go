@@ -123,6 +123,31 @@ func BenchmarkTable2Sampler(b *testing.B) {
 			}
 			b.ReportMetric(float64(bb.Program.OpCount()), "wordops/batch")
 		})
+		// The same circuit at explicit widths (1 = the paper's per-batch
+		// stream layout; the default above is sampler.DefaultWidth).
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("sigma%s/thiswork-w%d", sigma, w), func(b *testing.B) {
+				bb := benchBuilt(b, sigma, 128, core.MinimizeExact)
+				s := bb.NewWideSampler(prng.MustChaCha20([]byte("t2")), w)
+				dst := make([]int, 64)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.NextBatch(dst)
+				}
+			})
+		}
+		// The pre-optimization reference: the SSA interpreter with the
+		// per-bit unpack loop, kept as the baseline the optimized engine
+		// is measured against (BENCH_PR2.json).
+		b.Run("sigma"+sigma+"/thiswork-refinterp", func(b *testing.B) {
+			bb := benchBuilt(b, sigma, 128, core.MinimizeExact)
+			s := sampler.NewReference(bb.Program, prng.MustChaCha20([]byte("t2")))
+			dst := make([]int, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.NextBatch(dst)
+			}
+		})
 		b.Run("sigma"+sigma+"/simple21", func(b *testing.B) {
 			builtMu.Lock()
 			key := "simple/" + sigma

@@ -122,7 +122,10 @@ func (s *Sampler) Next() int { return s.inner.Next() }
 // bitsliced granularity.
 func (s *Sampler) NextBatch(dst []int) { s.inner.NextBatch(dst) }
 
-// BitsUsed reports total random bits consumed (constant per batch).
+// BitsUsed reports total random bits consumed.  Consumption is
+// input-independent and periodic: one fixed-size draw per refill, where a
+// refill produces Stats.BatchesPerRefill batches of 64 samples costing
+// Stats.BitsPerBatch bits each.
 func (s *Sampler) BitsUsed() uint64 { return s.inner.BitsUsed() }
 
 // Stats describes the generated circuit.
@@ -136,21 +139,25 @@ type Stats struct {
 	ValueBits    int // output magnitude bits m
 	WordOps      int // straight-line program length
 	BitsPerBatch int // random bits consumed per 64 samples
+	// BatchesPerRefill is the evaluation width W: randomness is drawn and
+	// the circuit evaluated once per W batches (W×64 samples).
+	BatchesPerRefill int
 }
 
 // Stats returns circuit statistics.
 func (s *Sampler) Stats() Stats {
 	b := s.built
 	return Stats{
-		Sigma:        b.Config.Sigma,
-		Precision:    b.Config.N,
-		Support:      b.Table.Support,
-		Delta:        b.Tree.Delta,
-		Leaves:       b.LeafCount,
-		Sublists:     b.SublistCount,
-		ValueBits:    b.Program.ValueBits,
-		WordOps:      b.Program.OpCount(),
-		BitsPerBatch: (b.Program.NumInputs + 1) * 64,
+		Sigma:            b.Config.Sigma,
+		Precision:        b.Config.N,
+		Support:          b.Table.Support,
+		Delta:            b.Tree.Delta,
+		Leaves:           b.LeafCount,
+		Sublists:         b.SublistCount,
+		ValueBits:        b.Program.ValueBits,
+		WordOps:          b.Program.OpCount(),
+		BitsPerBatch:     (b.Program.NumInputs + 1) * 64,
+		BatchesPerRefill: s.inner.Width(),
 	}
 }
 

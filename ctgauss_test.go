@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ctgauss"
+	"ctgauss/internal/sampler"
 )
 
 func TestPublicQuickstart(t *testing.T) {
@@ -112,14 +113,24 @@ func TestPublicBitsUsedConstant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The sampler evaluates sampler.DefaultWidth batches per refill, so
+	// randomness is drawn once per refill cycle; consumption must be
+	// constant across cycles (and independent of the sampled values).
 	batch := make([]int, 64)
-	s.NextBatch(batch)
-	per := s.BitsUsed()
-	for i := 0; i < 50; i++ {
+	cycle := func() uint64 {
 		before := s.BitsUsed()
-		s.NextBatch(batch)
-		if s.BitsUsed()-before != per {
-			t.Fatal("randomness per batch not constant")
+		for j := 0; j < sampler.DefaultWidth; j++ {
+			s.NextBatch(batch)
+		}
+		return s.BitsUsed() - before
+	}
+	per := cycle()
+	if per == 0 {
+		t.Fatal("no randomness consumed")
+	}
+	for i := 0; i < 50; i++ {
+		if c := cycle(); c != per {
+			t.Fatalf("randomness per refill cycle not constant: %d vs %d", c, per)
 		}
 	}
 }

@@ -18,7 +18,7 @@ func ExampleNew() {
 	fmt.Println("first samples:", s.Next(), s.Next(), s.Next(), s.Next())
 	// Output:
 	// σ=2 n=128: Δ=5, 1139 leaves in 125 sublists, 3588 word ops, 8384 bits/batch
-	// first samples: 1 -3 3 4
+	// first samples: -1 0 -1 4
 }
 
 func ExampleSampler_NextBatch() {
@@ -32,7 +32,7 @@ func ExampleSampler_NextBatch() {
 	s.NextBatch(batch)
 	fmt.Println(batch[:8])
 	// Output:
-	// [1 3 3 -4 -1 1 -2 -1]
+	// [1 0 -1 -4 1 -1 -2 -3]
 }
 
 func ExampleNewLargeSigma() {
@@ -46,7 +46,7 @@ func ExampleNewLargeSigma() {
 	wide := ctgauss.NewLargeSigma(base, 10)
 	fmt.Println(wide.Next(), wide.Next(), wide.Next())
 	// Output:
-	// 31 -37 9
+	// 1 -41 -9
 }
 
 func ExampleNewPool() {
@@ -64,5 +64,5 @@ func ExampleNewPool() {
 	pool.NextBatch(batch) // safe to call from concurrent goroutines
 	fmt.Println(pool.Size(), batch[:6])
 	// Output:
-	// 4 [-1 2 1 2 2 -4]
+	// 4 [-1 4 -3 0 1 2]
 }

@@ -186,14 +186,3 @@ func Unpack(out []uint64, lane int) int {
 	}
 	return v
 }
-
-// UnpackAll expands packed output words into 64 per-lane magnitudes.
-func UnpackAll(out []uint64, dst []int) {
-	for l := 0; l < 64; l++ {
-		v := 0
-		for i, w := range out {
-			v |= int((w>>uint(l))&1) << uint(i)
-		}
-		dst[l] = v
-	}
-}

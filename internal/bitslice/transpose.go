@@ -1,0 +1,35 @@
+package bitslice
+
+// Transpose64 transposes a 64×64 bit matrix in place: bit c of row r
+// swaps with bit r of row c.  It is the recursive block-swap algorithm
+// (Hacker's Delight §7-3): six passes, each exchanging the off-diagonal
+// half-blocks of every 2j×2j tile with three XORs per row pair — ~400
+// word operations total, independent of the data.
+//
+// This is the batch unpacking primitive of the sampler: the circuit
+// leaves magnitude bit ι of all 64 lanes packed in output word ι; one
+// transpose turns valueBits such planes into 64 per-lane magnitudes,
+// replacing the O(valueBits×64) shift-and-mask loop.
+func Transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := ((a[k] >> j) ^ a[k+int(j)]) & m
+			a[k] ^= t << j
+			a[k+int(j)] ^= t
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// UnpackAll expands packed output words into 64 per-lane magnitudes via
+// one bit-matrix transpose.  len(out) must be ≤ 64 (ValueBits is ≤ 63 for
+// any valid Program); len(dst) must be ≥ 64.
+func UnpackAll(out []uint64, dst []int) {
+	var m [64]uint64
+	copy(m[:], out)
+	Transpose64(&m)
+	for l := 0; l < 64; l++ {
+		dst[l] = int(m[l])
+	}
+}

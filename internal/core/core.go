@@ -90,6 +90,9 @@ type Built struct {
 	SublistCount int
 	TotalCubes   int
 	TotalLits    int
+
+	optOnce sync.Once
+	opt     *bitslice.Optimized
 }
 
 // Build runs the full pipeline of Fig. 4.
@@ -296,10 +299,23 @@ func rawSOP(tt *boolmin.TruthTable) boolmin.SOP {
 	return boolmin.SOP{NVars: tt.NVars, Cubes: cubes}
 }
 
+// Optimized returns the register-allocated evaluation form of the built
+// circuit, compiled once and shared by every sampler instance.
+func (b *Built) Optimized() *bitslice.Optimized {
+	b.optOnce.Do(func() { b.opt = bitslice.Optimize(b.Program) })
+	return b.opt
+}
+
 // NewSampler instantiates a constant-time sampler instance over the built
-// program with its own PRNG state.
+// program with its own PRNG state, at the default evaluation width.
 func (b *Built) NewSampler(src prng.Source) *sampler.Bitsliced {
-	return sampler.NewBitsliced("bitsliced-split("+b.Config.Sigma+")", b.Program, src)
+	return sampler.NewBitslicedOpt("bitsliced-split("+b.Config.Sigma+")", b.Optimized(), src)
+}
+
+// NewWideSampler instantiates a sampler at an explicit evaluation width
+// (1 = the paper's per-batch form, 4/8 = 256/512 lanes per pass).
+func (b *Built) NewWideSampler(src prng.Source, w int) *sampler.Bitsliced {
+	return sampler.NewBitslicedWidth(fmt.Sprintf("bitsliced-wide%d(%s)", w, b.Config.Sigma), b.Optimized(), src, w)
 }
 
 // BuiltSimple is the [21]-baseline artefact set.
@@ -310,6 +326,17 @@ type BuiltSimple struct {
 	Program *bitslice.Program
 	// CubesBefore/After record the naive-merge effectiveness.
 	CubesBefore, CubesAfter int
+
+	optOnce sync.Once
+	opt     *bitslice.Optimized
+}
+
+// Optimized returns the register-allocated evaluation form of the
+// baseline circuit, compiled once — worthwhile here especially, since the
+// flat two-level programs run to ~10⁵ instructions.
+func (b *BuiltSimple) Optimized() *bitslice.Optimized {
+	b.optOnce.Do(func() { b.opt = bitslice.Optimize(b.Program) })
+	return b.opt
 }
 
 // BuildSimple reproduces the prior work's flow: Boolean functions over the
@@ -375,5 +402,5 @@ func buildSimple(cfg Config, cse bool) (*BuiltSimple, error) {
 
 // NewSampler instantiates the baseline sampler.
 func (b *BuiltSimple) NewSampler(src prng.Source) *sampler.Bitsliced {
-	return sampler.NewBitsliced("bitsliced-simple("+b.Config.Sigma+")", b.Program, src)
+	return sampler.NewBitslicedOpt("bitsliced-simple("+b.Config.Sigma+")", b.Optimized(), src)
 }

@@ -207,6 +207,40 @@ func TestBitReaderWords(t *testing.T) {
 	}
 }
 
+// TestFillWordsMatchesUint64 pins the bulk path to the per-word reference:
+// the same byte stream (including partial-tail discards at buffer edges
+// and BitsRead accounting) must come out of FillWords regardless of the
+// request size or the reader's alignment going in.
+func TestFillWordsMatchesUint64(t *testing.T) {
+	bulk := NewBitReader(MustChaCha20([]byte("fw")))
+	ref := NewBitReader(MustChaCha20([]byte("fw")))
+
+	sizes := []int{1, 3, 64, 65, 130, 7, 200, 63, 64, 1}
+	for round, n := range sizes {
+		got := make([]uint64, n)
+		want := make([]uint64, n)
+		bulk.FillWords(got)
+		for i := range want {
+			want[i] = ref.Uint64()
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d word %d: FillWords %#x, Uint64 %#x", round, i, got[i], want[i])
+			}
+		}
+		if bulk.BitsRead != ref.BitsRead {
+			t.Fatalf("round %d: BitsRead %d vs %d", round, bulk.BitsRead, ref.BitsRead)
+		}
+		// Misalign both readers identically between rounds to cover the
+		// re-alignment path (odd byte counts and dangling bits).
+		var scratch [3]byte
+		bulk.Bytes(scratch[:])
+		ref.Bytes(scratch[:])
+		bulk.Bit()
+		ref.Bit()
+	}
+}
+
 func TestBitReaderMonobitSanity(t *testing.T) {
 	// Frequency test: roughly half the bits should be 1.
 	for _, name := range []string{"chacha20", "shake256", "aes-ctr"} {

@@ -115,9 +115,33 @@ func (r *BitReader) alignByte() {
 
 // Words fills dst with random 64-bit words (the packed bit-planes consumed
 // by the bitsliced sampler: word i carries bit i of 64 independent lanes).
-func (r *BitReader) Words(dst []uint64) {
-	for i := range dst {
-		dst[i] = r.Uint64()
+// It is equivalent to calling Uint64 per word but reads the internal
+// buffer in bulk.
+func (r *BitReader) Words(dst []uint64) { r.FillWords(dst) }
+
+// FillWords fills dst with random 64-bit words using one bulk pass over
+// the internal buffer per refill instead of a bounds-checked Uint64 per
+// word — the batch path of the wide samplers, which draw NumInputs×W
+// words at a time.  The byte stream consumed (including the discard of a
+// partial trailing word before refill) is identical to repeated Uint64
+// calls, so sampler output is unchanged.
+func (r *BitReader) FillWords(dst []uint64) {
+	r.alignByte()
+	for len(dst) > 0 {
+		if r.off+8 > len(r.buf) {
+			r.refill()
+		}
+		n := (len(r.buf) - r.off) / 8
+		if n > len(dst) {
+			n = len(dst)
+		}
+		chunk := r.buf[r.off : r.off+8*n]
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint64(chunk[8*i:])
+		}
+		r.off += 8 * n
+		r.BitsRead += uint64(64 * n)
+		dst = dst[n:]
 	}
 }
 

@@ -62,13 +62,32 @@ type Artifact struct {
 	// FromDisk reports whether this artefact was loaded from the on-disk
 	// cache rather than built in this process.
 	FromDisk bool
+
+	optOnce sync.Once
+	opt     *bitslice.Optimized
+}
+
+// Optimized returns the register-allocated evaluation form of the
+// circuit, compiled at most once per artifact and shared by every sampler
+// instantiated from it — the serve-side analogue of the build-once
+// discipline the registry applies to the circuit itself.
+func (a *Artifact) Optimized() *bitslice.Optimized {
+	a.optOnce.Do(func() { a.opt = bitslice.Optimize(a.Program) })
+	return a.opt
 }
 
 // NewSampler instantiates an independent constant-time sampler over the
-// cached circuit.  Instances share the immutable Program but own their
-// PRNG state, so each is as cheap as a few slice allocations.
+// cached circuit at the default evaluation width.  Instances share the
+// immutable optimized program but own their PRNG state, so each is as
+// cheap as a few slice allocations.
 func (a *Artifact) NewSampler(src prng.Source) *sampler.Bitsliced {
-	return sampler.NewBitsliced("bitsliced-split("+a.Key.Sigma+")", a.Program, src)
+	return sampler.NewBitslicedOpt("bitsliced-split("+a.Key.Sigma+")", a.Optimized(), src)
+}
+
+// NewWideSampler instantiates a width-w sampler (w×64 lanes per circuit
+// evaluation) over the cached optimized circuit.
+func (a *Artifact) NewWideSampler(src prng.Source, w int) *sampler.Bitsliced {
+	return sampler.NewBitslicedWidth(fmt.Sprintf("bitsliced-wide%d(%s)", w, a.Key.Sigma), a.Optimized(), src, w)
 }
 
 func artifactOf(key Key, b *core.Built) *Artifact {

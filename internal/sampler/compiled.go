@@ -17,6 +17,7 @@ type Compiled struct {
 	in        []uint64
 	out       []uint64
 	batchBuf
+	Batches uint64 // number of 64-sample batches generated
 }
 
 // NewCompiled wraps a generated circuit function.
@@ -29,7 +30,7 @@ func NewCompiled(name string, fn func(in, out []uint64), numInputs, valueBits in
 		name:      name,
 		in:        make([]uint64, numInputs),
 		out:       make([]uint64, valueBits),
-		batchBuf:  batchBuf{used: 64},
+		batchBuf:  newBatchBuf(64),
 	}
 }
 
@@ -40,17 +41,12 @@ func (c *Compiled) Name() string { return c.name }
 func (c *Compiled) BitsUsed() uint64 { return c.rd.BitsRead }
 
 func (c *Compiled) refill() {
-	c.rd.Words(c.in)
+	c.rd.FillWords(c.in)
 	sign := c.rd.Uint64()
 	c.fn(c.in, c.out)
-	for l := 0; l < 64; l++ {
-		mag := 0
-		for i, w := range c.out {
-			mag |= int((w>>uint(l))&1) << uint(i)
-		}
-		c.batch[l] = applySign(mag, (sign>>uint(l))&1)
-	}
+	unpackSigned(c.out, 1, sign, c.batch[:64])
 	c.used = 0
+	c.Batches++
 }
 
 // Next implements Sampler.

@@ -46,19 +46,38 @@ func applySign(mag int, s uint64) int {
 	return int(int64((m ^ neg) + (s & 1)))
 }
 
-// batchBuf is the 64-sample buffer behind the bitsliced samplers,
+// unpackSigned expands packed magnitude planes and one sign word into 64
+// signed samples via a single 64×64 bit-matrix transpose.  Plane i is
+// planes[i*stride] (stride lets the wide sampler address one lane block
+// of its output-major buffer without copying it out first).
+func unpackSigned(planes []uint64, stride int, sign uint64, dst []int) {
+	var tr [64]uint64
+	n := (len(planes) + stride - 1) / stride
+	for i := 0; i < n; i++ {
+		tr[i] = planes[i*stride]
+	}
+	bitslice.Transpose64(&tr)
+	for l := 0; l < 64; l++ {
+		dst[l] = applySign(int(tr[l]), (sign>>uint(l))&1)
+	}
+}
+
+// batchBuf is the sample buffer behind the bitsliced samplers,
 // implementing the shared Next/NextBatch contract over a refill function
 // that regenerates batch and resets used.  NextBatch drains samples
 // already buffered by Next before spending a fresh circuit evaluation, so
-// nothing is discarded and batch-only callers get exactly one evaluation
-// per call.
+// nothing is discarded; the buffer holds one refill's worth of samples
+// (64 for the per-batch samplers, width×64 for the wide interpreter).
 type batchBuf struct {
-	batch [64]int
+	batch []int
 	used  int
 }
 
+// newBatchBuf allocates an empty n-sample buffer (first use refills).
+func newBatchBuf(n int) batchBuf { return batchBuf{batch: make([]int, n), used: n} }
+
 func (b *batchBuf) next(refill func()) int {
-	if b.used == 64 {
+	if b.used == len(b.batch) {
 		refill()
 	}
 	v := b.batch[b.used]
@@ -71,7 +90,7 @@ func (b *batchBuf) nextBatch(dst []int, refill func()) {
 		panic(fmt.Sprintf("sampler: NextBatch dst has len %d, need ≥ 64", len(dst)))
 	}
 	n := 0
-	for b.used < 64 && n < 64 {
+	for b.used < len(b.batch) && n < 64 {
 		dst[n] = b.batch[b.used]
 		b.used++
 		n++
@@ -84,29 +103,70 @@ func (b *batchBuf) nextBatch(dst []int, refill func()) {
 	}
 }
 
+// DefaultWidth is the evaluation width of NewBitsliced/NewBitslicedOpt
+// samplers: every circuit evaluation runs each instruction over
+// DefaultWidth contiguous words (DefaultWidth×64 lanes), which amortizes
+// interpreter dispatch and mispredicted branches across the lanes — the
+// dominant cost of width-1 interpretation.
+const DefaultWidth = 8
+
 // Bitsliced is the paper's constant-time sampler: a compiled straight-line
-// circuit evaluated on 64 lanes of packed random bits.
+// circuit evaluated on W×64 lanes of packed random bits per pass.  The
+// circuit runs in its register-allocated Optimized form (dense slot file,
+// fused dispatch, wide lanes) and batches unpack through one 64×64
+// bit-matrix transpose per 64 lanes.
+//
+// Randomness is consumed in W-batch blocks: NumInputs×W input words
+// (input-major) followed by W sign words.  At width 1 this is exactly the
+// draw order of the original per-batch interpreter, so a width-1 sampler
+// is stream-compatible with the reference implementation; wider samplers
+// trade stream layout for throughput (the per-sample distribution is
+// identical at any width).
 type Bitsliced struct {
-	prog *bitslice.Program
-	rd   *prng.BitReader
-	name string
-	in   []uint64
-	regs []uint64
-	out  []uint64
+	opt   *bitslice.Optimized
+	rd    *prng.BitReader
+	name  string
+	w     int
+	in    []uint64 // NumInputs×W, input-major
+	slots []uint64 // NumSlots×W, slot-major
+	out   []uint64 // ValueBits×W, output-major
+	signs []uint64
 	batchBuf
-	Batches uint64 // number of 64-sample batches generated
+	// Batches counts 64-sample batches generated (W per evaluation).
+	Batches uint64
 }
 
-// NewBitsliced wraps a compiled program and a random source.
+// NewBitsliced wraps a compiled program and a random source, optimizing
+// the program first and evaluating at DefaultWidth.  When many samplers
+// share one circuit, optimize once and use NewBitslicedOpt (the
+// registry's Artifact does this).
 func NewBitsliced(name string, prog *bitslice.Program, src prng.Source) *Bitsliced {
+	return NewBitslicedOpt(name, bitslice.Optimize(prog), src)
+}
+
+// NewBitslicedOpt wraps an already-optimized circuit and a random source
+// at DefaultWidth.
+func NewBitslicedOpt(name string, opt *bitslice.Optimized, src prng.Source) *Bitsliced {
+	return NewBitslicedWidth(name, opt, src, DefaultWidth)
+}
+
+// NewBitslicedWidth wraps an optimized circuit with an explicit
+// evaluation width w ≥ 1 (1 = the reference stream layout, 4 or 8 = 256
+// or 512 lanes per pass).
+func NewBitslicedWidth(name string, opt *bitslice.Optimized, src prng.Source, w int) *Bitsliced {
+	if w < 1 {
+		panic(fmt.Sprintf("sampler: width %d < 1", w))
+	}
 	return &Bitsliced{
-		prog:     prog,
+		opt:      opt,
 		rd:       prng.NewBitReader(src),
 		name:     name,
-		in:       make([]uint64, prog.NumInputs),
-		regs:     make([]uint64, prog.NumRegs),
-		out:      make([]uint64, len(prog.Outputs)),
-		batchBuf: batchBuf{used: 64},
+		w:        w,
+		in:       make([]uint64, opt.NumInputs*w),
+		slots:    opt.NewSlots(w),
+		out:      make([]uint64, len(opt.Outputs)*w),
+		signs:    make([]uint64, w),
+		batchBuf: newBatchBuf(w * 64),
 	}
 }
 
@@ -116,22 +176,25 @@ func (b *Bitsliced) Name() string { return b.name }
 // BitsUsed implements Sampler.
 func (b *Bitsliced) BitsUsed() uint64 { return b.rd.BitsRead }
 
+// Width returns the evaluation width W.
+func (b *Bitsliced) Width() int { return b.w }
+
 // Program exposes the compiled circuit (op counts for the cost model).
-func (b *Bitsliced) Program() *bitslice.Program { return b.prog }
+func (b *Bitsliced) Program() *bitslice.Program { return b.opt.Program() }
+
+// Optimized exposes the evaluation form actually executed.
+func (b *Bitsliced) Optimized() *bitslice.Optimized { return b.opt }
 
 func (b *Bitsliced) refill() {
-	b.rd.Words(b.in)
-	sign := b.rd.Uint64()
-	b.prog.RunInto(b.in, b.regs, b.out)
-	for l := 0; l < 64; l++ {
-		mag := 0
-		for i, w := range b.out {
-			mag |= int((w>>uint(l))&1) << uint(i)
-		}
-		b.batch[l] = applySign(mag, (sign>>uint(l))&1)
+	b.rd.FillWords(b.in)
+	b.rd.FillWords(b.signs)
+	b.opt.RunWideInto(b.w, b.in, b.slots, b.out)
+	for blk := 0; blk < b.w; blk++ {
+		base := blk * 64
+		unpackSigned(b.out[blk:], b.w, b.signs[blk], b.batch[base:base+64])
 	}
 	b.used = 0
-	b.Batches++
+	b.Batches += uint64(b.w)
 }
 
 // Next implements Sampler.
