@@ -1,0 +1,175 @@
+// Command ctgaussd serves the repo's constant-time Gaussian sampling and
+// Falcon signing pools over HTTP: batched draws at /v1/samples (request
+// coalescing over a ctgauss.Pool per σ), /v1/falcon/sign and
+// /v1/falcon/verify on a sharded signer pool, plus /healthz and
+// Prometheus-text /metrics.  See docs/SERVING.md for the API reference.
+//
+// Usage:
+//
+//	ctgaussd                                  # σ=2, falcon-512, :8754
+//	ctgaussd -sigmas 2,6.15543 -shards 8
+//	ctgaussd -seed random                     # non-reproducible production seeds
+//	ctgaussd -cache /var/cache/ctgauss        # persist circuits across restarts
+//	ctgaussd -falcon-n 0                      # sampling only
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests drain (bounded by -drain-timeout), then
+// the process exits.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctgauss/falcon"
+	"ctgauss/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8754", "listen address")
+	sigmas := flag.String("sigmas", "2", "comma-separated σ values to serve (first is the default)")
+	shards := flag.Int("shards", 0, "sampling pool shards per σ (0 = NumCPU)")
+	seed := flag.String("seed", "", "master seed: hex, 'random' for fresh entropy, empty for the fixed dev seed")
+	prng := flag.String("prng", "chacha20", "pool PRNG: chacha20, shake256, aes-ctr")
+	falconN := flag.Int("falcon-n", 512, "Falcon ring degree (256/512/1024); 0 disables the Falcon endpoints")
+	falconKind := flag.String("falcon-kind", "bitsliced", "base sampler: bitsliced, cdt, bytescan, linear")
+	falconShards := flag.Int("falcon-shards", 0, "signer pool shards (0 = NumCPU)")
+	queue := flag.Int("queue", 256, "per-endpoint admission queue depth (excess load gets 429)")
+	maxCount := flag.Int("max-count", 65536, "largest per-request sample count")
+	cacheDir := flag.String("cache", "", "circuit cache directory (sets CTGAUSS_CACHE_DIR)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	if *cacheDir != "" {
+		// Must land before the first registry.Shared() use (pool builds in
+		// server.New latch it).
+		os.Setenv("CTGAUSS_CACHE_DIR", *cacheDir)
+	}
+
+	masterSeed, reproducible, err := resolveSeed(*seed)
+	if err != nil {
+		log.Fatalf("ctgaussd: %v", err)
+	}
+	kind, err := parseKind(*falconKind)
+	if err != nil {
+		log.Fatalf("ctgaussd: %v", err)
+	}
+
+	cfg := server.Config{
+		Sigmas:       splitList(*sigmas),
+		PoolShards:   *shards,
+		Seed:         masterSeed,
+		PRNG:         *prng,
+		FalconN:      *falconN,
+		FalconKind:   kind,
+		FalconShards: *falconShards,
+		MaxCount:     *maxCount,
+		QueueDepth:   *queue,
+	}
+	buildStart := time.Now()
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("ctgaussd: %v", err)
+	}
+	log.Printf("pools ready in %s (σ = %s, falcon-n = %d)",
+		time.Since(buildStart).Round(time.Millisecond), *sigmas, *falconN)
+	if !reproducible {
+		log.Printf("seed: fresh entropy (streams are not reproducible)")
+	} else {
+		log.Printf("seed: deterministic — development only, use -seed random in production")
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ctgaussd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (budget %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		// Drain refuses new work and waits for admitted requests; Shutdown
+		// closes the listener and waits for connections.  Run both so a
+		// request admitted just before the signal still completes.
+		s.Drain()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("ctgaussd: shutdown: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		log.Printf("drained cleanly")
+	case <-shutdownCtx.Done():
+		log.Printf("drain budget exceeded, exiting with requests in flight")
+	}
+}
+
+// resolveSeed maps the -seed flag to seed bytes; the bool reports
+// whether the run is reproducible.
+func resolveSeed(s string) ([]byte, bool, error) {
+	switch s {
+	case "":
+		return nil, true, nil // server.New's fixed dev default
+	case "random":
+		seed := make([]byte, 32)
+		if _, err := rand.Read(seed); err != nil {
+			return nil, false, fmt.Errorf("reading entropy: %w", err)
+		}
+		return seed, false, nil
+	default:
+		seed, err := hex.DecodeString(s)
+		if err != nil {
+			return nil, false, fmt.Errorf("-seed must be hex, 'random' or empty: %w", err)
+		}
+		return seed, true, nil
+	}
+}
+
+func parseKind(s string) (falcon.BaseSamplerKind, error) {
+	switch s {
+	case "bitsliced":
+		return falcon.BaseBitsliced, nil
+	case "cdt":
+		return falcon.BaseCDT, nil
+	case "bytescan":
+		return falcon.BaseByteScanCDT, nil
+	case "linear":
+		return falcon.BaseLinearCDT, nil
+	}
+	return 0, fmt.Errorf("unknown -falcon-kind %q (want bitsliced, cdt, bytescan or linear)", s)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Command ctgaussload drives a running ctgaussd and prints a JSON
+// throughput report (the serving analogue of samplebench -json).  Its
+// counters are designed to reconcile with the daemon's /metrics:
+// requests against ctgaussd_requests_total, samples against
+// ctgaussd_samples_served_total, signatures and verifications against
+// their counters.
+//
+// Usage:
+//
+//	ctgaussload                                      # 8 clients × 100 sample requests
+//	ctgaussload -mode sign -clients 4 -requests 50
+//	ctgaussload -mode mix -count 256
+//	ctgaussload -addr http://gauss.internal:8754 -json report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctgauss/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8754", "ctgaussd base URL")
+	mode := flag.String("mode", "samples", "workload: samples, sign, verify, or mix")
+	clients := flag.Int("clients", 8, "concurrent client loops")
+	requests := flag.Int("requests", 100, "requests per client")
+	count := flag.Int("count", 64, "samples per request (samples mode)")
+	sigma := flag.String("sigma", "", "σ to request (empty = server default)")
+	message := flag.String("message", "ctgaussload message", "payload for sign/verify requests")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	jsonPath := flag.String("json", "-", "report destination (\"-\" = stdout)")
+	flag.Parse()
+
+	report, err := server.RunLoad(server.LoadConfig{
+		BaseURL:  *addr,
+		Mode:     *mode,
+		Clients:  *clients,
+		Requests: *requests,
+		Count:    *count,
+		Sigma:    *sigma,
+		Message:  []byte(*message),
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctgaussload:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctgaussload:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *jsonPath == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*jsonPath, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctgaussload:", err)
+		os.Exit(1)
+	}
+	if report.Errors > 0 {
+		os.Exit(2)
+	}
+}

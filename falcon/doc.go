@@ -1,0 +1,30 @@
+// Package falcon is the public API of this repository's from-scratch
+// Falcon signature implementation with pluggable discrete Gaussian base
+// samplers — the application study of the DAC 2019 paper (Table 1): the
+// cost of Falcon signing under the constant-time bitsliced sampler versus
+// the CDT-based alternatives.
+//
+// One-shot use builds a key and a signer directly:
+//
+//	sk, _ := falcon.Keygen(512, seed)
+//	signer, _ := falcon.NewSigner(sk, falcon.BaseBitsliced, signSeed)
+//	sig, _ := signer.Sign(msg)
+//	err := sk.Public().Verify(msg, sig)
+//
+// A Signer is not safe for concurrent use: signing mutates the base
+// sampler and salt PRNG streams.  For serving, NewSignerPool shards
+// independent signers over one key (domain-separated seeds, round-robin
+// dispatch — the signing analogue of ctgauss.Pool):
+//
+//	pool, _ := falcon.NewSignerPool(sk, falcon.BaseBitsliced, seed, 8)
+//	sig, _ := pool.Sign(msg)          // safe from any goroutine
+//	err = pool.Verify(msg, sig)       // stateless, never blocks a signer
+//
+// Signatures and public keys serialize with Signature.Encode /
+// PublicKey.EncodePublic and parse with DecodeSignature / DecodePublic.
+//
+// Seed handling: Keygen, NewSigner and NewSignerPool are deterministic
+// in their seeds, which makes tests and benchmarks reproducible.  In
+// production the signing seeds must come from fresh randomness —
+// predictable salts or Gaussian streams break the scheme.
+package falcon

@@ -1,0 +1,75 @@
+package falcon_test
+
+import (
+	"fmt"
+
+	"ctgauss/falcon"
+)
+
+// Example signs and verifies a message with the paper's constant-time
+// bitsliced base sampler.  Keygen and signing are deterministic in their
+// seeds, so the example output is stable.
+func Example() {
+	sk, err := falcon.Keygen(256, []byte("falcon-example-keygen-seed"))
+	if err != nil {
+		fmt.Println("keygen:", err)
+		return
+	}
+	signer, err := falcon.NewSigner(sk, falcon.BaseBitsliced, []byte("falcon-example-sign-seed"))
+	if err != nil {
+		fmt.Println("signer:", err)
+		return
+	}
+	msg := []byte("attack at dawn")
+	sig, err := signer.Sign(msg)
+	if err != nil {
+		fmt.Println("sign:", err)
+		return
+	}
+	// Signatures survive a serialization round trip.
+	decoded, err := falcon.DecodeSignature(sig.Encode())
+	if err != nil {
+		fmt.Println("decode:", err)
+		return
+	}
+	if err := sk.Public().Verify(msg, decoded); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Printf("%s: signature valid\n", sk.Params.Name)
+	// Output: falcon-256: signature valid
+}
+
+// ExampleSignerPool serves concurrent signing requests from a sharded
+// pool over one key.
+func ExampleSignerPool() {
+	sk, err := falcon.Keygen(256, []byte("falcon-example-keygen-seed"))
+	if err != nil {
+		fmt.Println("keygen:", err)
+		return
+	}
+	pool, err := falcon.NewSignerPool(sk, falcon.BaseBitsliced, []byte("pool-seed"), 2)
+	if err != nil {
+		fmt.Println("pool:", err)
+		return
+	}
+	msg := []byte("attack at dawn")
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			sig, err := pool.Sign(msg) // safe from any goroutine
+			if err == nil {
+				err = pool.Verify(msg, sig)
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Println("4 concurrent signatures valid")
+	// Output: 4 concurrent signatures valid
+}

@@ -1,13 +1,3 @@
-// Package falcon is the public API of this repository's from-scratch
-// Falcon signature implementation with pluggable discrete Gaussian base
-// samplers — the application study of the DAC 2019 paper (Table 1): the
-// cost of Falcon signing under the constant-time bitsliced sampler versus
-// the CDT-based alternatives.
-//
-//	sk, _ := falcon.Keygen(512, seed)
-//	signer, _ := falcon.NewSigner(sk, falcon.BaseBitsliced, signSeed)
-//	sig, _ := signer.Sign(msg)
-//	err := sk.Public().Verify(msg, sig)
 package falcon
 
 import (
@@ -25,8 +15,12 @@ type (
 	PublicKey = ifalcon.PublicKey
 	// Signature is a salt plus the compressed short vector.
 	Signature = ifalcon.Signature
-	// Signer signs messages with a chosen Gaussian base sampler.
+	// Signer signs messages with a chosen Gaussian base sampler.  It is
+	// not safe for concurrent use; see SignerPool.
 	Signer = ifalcon.Signer
+	// SignerPool is a sharded, concurrency-safe set of Signers over one
+	// key — the signing analogue of ctgauss.Pool.
+	SignerPool = ifalcon.SignerPool
 	// BaseSamplerKind selects the Gaussian base sampler variant.
 	BaseSamplerKind = ifalcon.BaseSamplerKind
 )
@@ -55,9 +49,17 @@ func ParamsFor(n int) (Params, error) { return ifalcon.ParamsFor(n) }
 func Keygen(n int, seed []byte) (*PrivateKey, error) { return ifalcon.Keygen(n, seed) }
 
 // NewSigner builds a signer using the selected base sampler, seeded
-// deterministically.
+// deterministically.  The result is not safe for concurrent use.
 func NewSigner(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Signer, error) {
 	return ifalcon.NewSignerWithKind(sk, kind, seed)
+}
+
+// NewSignerPool builds a concurrency-safe pool of parallelism signer
+// shards over sk (0 = one per CPU).  Shard seeds derive from seed with
+// domain separation, so one master seed yields independent signing
+// streams; Sign round-robins across shards and Verify is stateless.
+func NewSignerPool(sk *PrivateKey, kind BaseSamplerKind, seed []byte, parallelism int) (*SignerPool, error) {
+	return ifalcon.NewSignerPool(sk, kind, seed, parallelism)
 }
 
 // DecodeSignature parses Signature.Encode output.

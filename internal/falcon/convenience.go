@@ -1,7 +1,9 @@
 package falcon
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sync"
 
 	"ctgauss/internal/core"
 	"ctgauss/internal/prng"
@@ -10,19 +12,30 @@ import (
 )
 
 // builtCache memoises sampler pipelines per σ string (building the σ_fg
-// and σ=2 circuits is deterministic and reusable across keys).
-var builtCache = map[string]*core.Built{}
+// and σ=2 circuits is deterministic and reusable across keys).  The
+// mutex makes concurrent Keygen/NewSigner/NewSignerPool construction
+// safe; duplicate builds racing past the first lookup are acceptable
+// (deterministic result, rare in practice).
+var (
+	builtMu    sync.Mutex
+	builtCache = map[string]*core.Built{}
+)
 
 func builtFor(sigma string, n int) (*core.Built, error) {
 	key := fmt.Sprintf("%s/%d", sigma, n)
-	if b, ok := builtCache[key]; ok {
+	builtMu.Lock()
+	b, ok := builtCache[key]
+	builtMu.Unlock()
+	if ok {
 		return b, nil
 	}
 	b, err := core.Build(core.Config{Sigma: sigma, N: n, TailCut: 13, Min: core.MinimizeExact})
 	if err != nil {
 		return nil, err
 	}
+	builtMu.Lock()
 	builtCache[key] = b
+	builtMu.Unlock()
 	return b, nil
 }
 
@@ -105,7 +118,16 @@ func NewSignerWithKind(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Sign
 	if err != nil {
 		return nil, err
 	}
-	src, err := prng.NewChaCha20(append([]byte("salt:"), seed...))
+	saltSeed := append([]byte("salt:"), seed...)
+	if len(saltSeed) > 32 {
+		// ChaCha20 seeds are capped at 32 bytes; longer derived seeds
+		// (e.g. SignerPool's 32-byte shard digests) compress through
+		// SHA-256, keeping the salt stream domain-separated from the
+		// base-sampler stream.
+		sum := sha256.Sum256(saltSeed)
+		saltSeed = sum[:]
+	}
+	src, err := prng.NewChaCha20(saltSeed)
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,10 @@ func testKey(t *testing.T, n int) *PrivateKey {
 }
 
 func TestParams(t *testing.T) {
-	p512 := MustParams(512)
+	p512, err := ParamsFor(512)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(p512.Sigma-165.7) > 1.5 {
 		t.Fatalf("σ(512) = %.2f, want ≈ 165.7 (spec)", p512.Sigma)
 	}
@@ -38,7 +41,10 @@ func TestParams(t *testing.T) {
 		t.Fatal("expected error for bad degree")
 	}
 	for _, n := range []int{256, 512, 1024} {
-		p := MustParams(n)
+		p, err := ParamsFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if p.SigmaFG <= 0 || p.Level == 0 {
 			t.Fatalf("bad params for %d: %+v", n, p)
 		}
@@ -248,7 +254,11 @@ func TestSamplerZStatistics(t *testing.T) {
 		t.Fatal(err)
 	}
 	bits := prng.NewBitReader(prng.MustChaCha20([]byte("zbits")))
-	zs := newSamplerZ(base, bits, MustParams(512).SigmaMin)
+	p512, err := ParamsFor(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs := newSamplerZ(base, bits, p512.SigmaMin)
 	for _, cfg := range []struct{ mu, sigma float64 }{
 		{0, 1.5}, {0.5, 1.3}, {-3.7, 1.8}, {100.25, 1.7},
 	} {

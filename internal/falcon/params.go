@@ -65,12 +65,3 @@ func ParamsFor(n int) (Params, error) {
 		BoundSq:  int64(beta * beta),
 	}, nil
 }
-
-// MustParams is ParamsFor for known-good degrees.
-func MustParams(n int) Params {
-	p, err := ParamsFor(n)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}

@@ -1,0 +1,103 @@
+package falcon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SignerPool is the concurrent serving form of Signer: a fixed set of
+// shards over one private key, each an independent Signer with its own
+// domain-separated PRNG streams (base sampler and salt).  Sign is safe
+// for any number of concurrent callers; requests round-robin across
+// shards, so with at least as many shards as active goroutines they
+// rarely contend.  Verify needs no signer state and never blocks on one.
+//
+// The construction mirrors ctgauss.Pool: shard i's seed is derived from
+// the pool seed by hashing with a fixed domain-separation label and the
+// shard index, so one master seed yields independent signing streams —
+// in particular, independent salts, which keeps concurrent signatures
+// over one key distinct.
+type SignerPool struct {
+	pk     *PublicKey
+	shards []*signerShard
+	ctr    atomic.Uint64
+}
+
+// signerShard serializes access to one underlying signer.
+type signerShard struct {
+	mu sync.Mutex
+	s  *Signer
+}
+
+// NewSignerPool builds a serving pool over sk using the chosen Table-1
+// base sampler.  parallelism is the shard count: 0 means
+// runtime.NumCPU().  seed is the master seed; as with single signers,
+// production deployments must derive it from fresh randomness.
+func NewSignerPool(sk *PrivateKey, kind BaseSamplerKind, seed []byte, parallelism int) (*SignerPool, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	p := &SignerPool{pk: sk.Public(), shards: make([]*signerShard, parallelism)}
+	for i := range p.shards {
+		s, err := NewSignerWithKind(sk, kind, signerShardSeed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		p.shards[i] = &signerShard{s: s}
+	}
+	return p, nil
+}
+
+// signerShardSeed derives shard i's seed from the pool seed with domain
+// separation (the signing analogue of ctgauss's pool shard derivation).
+func signerShardSeed(seed []byte, shard int) []byte {
+	h := sha256.New()
+	h.Write([]byte("ctgauss/falcon/signer-shard"))
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], uint32(shard))
+	h.Write(idx[:])
+	h.Write(seed)
+	return h.Sum(nil)
+}
+
+// pick selects the next shard round-robin.
+func (p *SignerPool) pick() *signerShard {
+	return p.shards[p.ctr.Add(1)%uint64(len(p.shards))]
+}
+
+// Sign produces a signature for msg on one shard.  Safe for concurrent
+// use.
+func (p *SignerPool) Sign(msg []byte) (*Signature, error) {
+	sh := p.pick()
+	sh.mu.Lock()
+	sig, err := sh.s.Sign(msg)
+	sh.mu.Unlock()
+	return sig, err
+}
+
+// Verify checks sig over msg against the pool's public key.  It touches
+// no signer state, so it runs fully in parallel with Sign calls.
+func (p *SignerPool) Verify(msg []byte, sig *Signature) error {
+	return p.pk.Verify(msg, sig)
+}
+
+// Public returns the pool's public key.
+func (p *SignerPool) Public() *PublicKey { return p.pk }
+
+// Size returns the shard count.
+func (p *SignerPool) Size() int { return len(p.shards) }
+
+// Attempts reports norm-rejection restarts summed across shards
+// (diagnostics, mirroring Signer.Attempts).
+func (p *SignerPool) Attempts() uint64 {
+	var total uint64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.s.Attempts
+		sh.mu.Unlock()
+	}
+	return total
+}

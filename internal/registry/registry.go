@@ -7,6 +7,11 @@
 // Concurrency follows the singleflight discipline: the first goroutine to
 // request a key builds it while later requesters block on the same entry,
 // so an N-goroutine cold start runs exactly one minimization per key.
+//
+// Consumers: ctgauss.Pool (and through it the internal/server HTTP
+// layer) resolves its circuit here, so every pool and daemon in a
+// process shares one build per configuration; ctgaussd's -cache flag is
+// this package's CTGAUSS_CACHE_DIR.
 package registry
 
 import (

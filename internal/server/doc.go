@@ -1,0 +1,26 @@
+// Package server implements the HTTP serving layer of ctgaussd: batched
+// Gaussian sampling and Falcon sign/verify endpoints over the repo's
+// concurrent pools, plus health and metrics surfaces.
+//
+// The package is the glue between stateless HTTP requests and the
+// stateful batch-oriented backends:
+//
+//   - /v1/samples draws from per-σ ctgauss.Pool instances through a
+//     coalescer, so concurrent small requests share circuit refills
+//     instead of each spending one (the wide-lane engine produces
+//     width×64 samples per evaluation; the coalescer hands them out
+//     request by request in stream order).
+//   - /v1/falcon/sign and /v1/falcon/verify run on a sharded
+//     falcon.SignerPool over the daemon's key.
+//   - /healthz reports liveness and configuration; /metrics exports
+//     Prometheus-text counters (requests, samples, batches, refills,
+//     latency quantiles) that reconcile with cmd/ctgaussload reports.
+//
+// Every endpoint sits behind a drain gate (Server.Drain stops intake and
+// waits for in-flight requests — graceful shutdown) and a per-endpoint
+// bounded admission queue (overload returns 429 instead of queueing
+// unboundedly).
+//
+// cmd/ctgaussd wires this package to a net/http server and POSIX
+// signals; cmd/ctgaussload drives it and reports throughput (RunLoad).
+package server

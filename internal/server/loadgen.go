@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad against a running ctgaussd.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8754".
+	BaseURL string
+	// Mode is "samples", "sign", "verify", or "mix" (round-robin over the
+	// enabled endpoints per request index; against a Falcon-disabled
+	// daemon, mix degrades to samples-only and sign/verify error out).
+	Mode string
+	// Clients is the number of concurrent request loops (default 8).
+	Clients int
+	// Requests is the request count per client (default 100).
+	Requests int
+	// Count is the per-request sample count for samples-mode requests
+	// (default 64).
+	Count int
+	// Sigma optionally overrides the server's default σ.
+	Sigma string
+	// Message is the payload for sign/verify requests (default fixed).
+	Message []byte
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+// LatencySummary condenses observed per-request latencies.
+type LatencySummary struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// LoadReport is the throughput report RunLoad produces (the serving
+// analogue of samplebench -json).  Counters are designed to reconcile
+// with the daemon's /metrics: ctgaussd_requests_total counts
+// queue-admitted requests, so its deltas over the exercised endpoints
+// sum to Requests − Rejected; Samples matches
+// ctgaussd_samples_served_total, and so on.
+type LoadReport struct {
+	Target            string         `json:"target"`
+	Mode              string         `json:"mode"`
+	Clients           int            `json:"clients"`
+	Requests          int            `json:"requests"`
+	Errors            int            `json:"errors"`
+	Rejected          int            `json:"rejected_429"`
+	Samples           int            `json:"samples"`
+	Signatures        int            `json:"signatures"`
+	Verifies          int            `json:"verifies"`
+	DurationSeconds   float64        `json:"duration_seconds"`
+	RequestsPerSecond float64        `json:"requests_per_second"`
+	SamplesPerSecond  float64        `json:"samples_per_second"`
+	Latency           LatencySummary `json:"latency"`
+}
+
+// loadWorker accumulates one client's counts (merged after the run).
+type loadWorker struct {
+	requests, errors, rejected    int
+	samples, signatures, verifies int
+	latencies                     []time.Duration
+}
+
+// RunLoad drives the daemon with Clients×Requests requests and returns
+// the aggregate report.  Transport failures and non-2xx responses count
+// as errors (429 separately as rejections); verify responses with
+// valid=false count as errors too, since the load generator only submits
+// genuine signatures.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if cfg.Count <= 0 {
+		cfg.Count = 64
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = "samples"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Message == nil {
+		cfg.Message = []byte("ctgaussload message")
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	falconOn, err := falconEnabled(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: probing %s/healthz: %w", cfg.BaseURL, err)
+	}
+	var endpoints []string
+	switch cfg.Mode {
+	case "samples":
+		endpoints = []string{"samples"}
+	case "sign", "verify":
+		if !falconOn {
+			return nil, fmt.Errorf("loadgen: mode %q needs the Falcon endpoints, but the daemon runs sampling-only", cfg.Mode)
+		}
+		endpoints = []string{cfg.Mode}
+	case "mix":
+		endpoints = []string{"samples"}
+		if falconOn {
+			endpoints = append(endpoints, "sign", "verify")
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want samples, sign, verify or mix)", cfg.Mode)
+	}
+
+	// verify requests need a genuine signature: obtain one up front (not
+	// counted in the report).
+	var sigB64 string
+	for _, ep := range endpoints {
+		if ep != "verify" {
+			continue
+		}
+		sigB64, err = signOnce(client, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: priming signature for verify mode: %w", err)
+		}
+	}
+
+	workers := make([]loadWorker, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(w *loadWorker) {
+			defer wg.Done()
+			for i := 0; i < cfg.Requests; i++ {
+				ep := endpoints[i%len(endpoints)]
+				t0 := time.Now()
+				err := doRequest(client, cfg, ep, sigB64, w)
+				w.latencies = append(w.latencies, time.Since(t0))
+				w.requests++
+				if err != nil && !isRejection(err) {
+					// 429s count as Rejected only: backpressure working
+					// as designed is not a failure of the run.
+					w.errors++
+				}
+			}
+		}(&workers[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &LoadReport{
+		Target:          cfg.BaseURL,
+		Mode:            cfg.Mode,
+		Clients:         cfg.Clients,
+		DurationSeconds: elapsed.Seconds(),
+	}
+	var lats []time.Duration
+	for i := range workers {
+		w := &workers[i]
+		report.Requests += w.requests
+		report.Errors += w.errors
+		report.Rejected += w.rejected
+		report.Samples += w.samples
+		report.Signatures += w.signatures
+		report.Verifies += w.verifies
+		lats = append(lats, w.latencies...)
+	}
+	if elapsed > 0 {
+		report.RequestsPerSecond = float64(report.Requests) / elapsed.Seconds()
+		report.SamplesPerSecond = float64(report.Samples) / elapsed.Seconds()
+	}
+	report.Latency = summarize(lats)
+	return report, nil
+}
+
+// errHTTP marks a non-2xx response (the body's error message, if any).
+type errHTTP struct {
+	status int
+	msg    string
+}
+
+func (e *errHTTP) Error() string { return fmt.Sprintf("http %d: %s", e.status, e.msg) }
+
+// isRejection reports whether err is a 429 backpressure response.
+func isRejection(err error) bool {
+	he, ok := err.(*errHTTP)
+	return ok && he.status == http.StatusTooManyRequests
+}
+
+// falconEnabled asks /healthz whether the daemon mounts the Falcon
+// endpoints.
+func falconEnabled(client *http.Client, baseURL string) (bool, error) {
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var hr struct {
+		Falcon string `json:"falcon"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return false, err
+	}
+	return hr.Falcon != "", nil
+}
+
+func postJSON(client *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		return &errHTTP{status: r.StatusCode, msg: e.Error}
+	}
+	return json.Unmarshal(data, resp)
+}
+
+func signOnce(client *http.Client, cfg LoadConfig) (string, error) {
+	var resp signResponse
+	err := postJSON(client, cfg.BaseURL+"/v1/falcon/sign",
+		signRequest{Message: base64.StdEncoding.EncodeToString(cfg.Message)}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.Signature, nil
+}
+
+func doRequest(client *http.Client, cfg LoadConfig, endpoint, sigB64 string, w *loadWorker) error {
+	switch endpoint {
+	case "samples":
+		var resp samplesResponse
+		err := postJSON(client, cfg.BaseURL+"/v1/samples",
+			samplesRequest{Count: cfg.Count, Sigma: cfg.Sigma}, &resp)
+		if err != nil {
+			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
+				w.rejected++
+			}
+			return err
+		}
+		if len(resp.Samples) != cfg.Count {
+			return fmt.Errorf("got %d samples, want %d", len(resp.Samples), cfg.Count)
+		}
+		w.samples += len(resp.Samples)
+		return nil
+	case "sign":
+		var resp signResponse
+		err := postJSON(client, cfg.BaseURL+"/v1/falcon/sign",
+			signRequest{Message: base64.StdEncoding.EncodeToString(cfg.Message)}, &resp)
+		if err != nil {
+			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
+				w.rejected++
+			}
+			return err
+		}
+		if resp.Signature == "" {
+			return fmt.Errorf("empty signature")
+		}
+		w.signatures++
+		return nil
+	case "verify":
+		var resp verifyResponse
+		err := postJSON(client, cfg.BaseURL+"/v1/falcon/verify",
+			verifyRequest{
+				Message:   base64.StdEncoding.EncodeToString(cfg.Message),
+				Signature: sigB64,
+			}, &resp)
+		if err != nil {
+			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
+				w.rejected++
+			}
+			return err
+		}
+		if !resp.Valid {
+			return fmt.Errorf("genuine signature reported invalid: %s", resp.Reason)
+		}
+		w.verifies++
+		return nil
+	}
+	return fmt.Errorf("unknown endpoint %q", endpoint)
+}
+
+func summarize(lats []time.Duration) LatencySummary {
+	if len(lats) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	pick := func(q float64) float64 {
+		idx := int(q * float64(len(lats)-1))
+		return float64(lats[idx].Nanoseconds()) / 1e6
+	}
+	return LatencySummary{
+		P50Ms:  pick(0.5),
+		P99Ms:  pick(0.99),
+		MeanMs: float64(sum.Nanoseconds()) / float64(len(lats)) / 1e6,
+		MaxMs:  float64(lats[len(lats)-1].Nanoseconds()) / 1e6,
+	}
+}

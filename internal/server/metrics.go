@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the number of power-of-two latency histogram buckets:
+// bucket i counts observations with ceil(log2(ns)) == i, so the range
+// [1ns, ~1.2min] is covered with ~2× resolution and no allocation on the
+// hot path.
+const latBuckets = 37
+
+// histogram is a lock-free log2-bucketed latency histogram.  Quantiles
+// are read from bucket boundaries, so they carry at most a factor-2
+// overestimate — the right precision/cost point for serving telemetry
+// (exact per-request latencies live in the load generator's report).
+type histogram struct {
+	buckets [latBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	idx := bits.Len64(ns - 1) // ceil(log2); exact powers land on their own bucket
+	if idx >= latBuckets {
+		idx = latBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// quantile returns the q-quantile in seconds (upper bucket bound), or 0
+// with no observations.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < latBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return float64(uint64(1)<<uint(i)) / 1e9
+		}
+	}
+	return float64(uint64(1)<<uint(latBuckets-1)) / 1e9
+}
+
+// endpointMetrics counts one endpoint's traffic.
+type endpointMetrics struct {
+	name     string
+	requests atomic.Uint64 // requests admitted past the drain gate AND the queue
+	errors   atomic.Uint64 // responses with status ≥ 400 (excluding 429)
+	rejected atomic.Uint64 // 429 backpressure rejections
+	refused  atomic.Uint64 // 503 drain-gate refusals
+	inflight atomic.Int64
+	lat      histogram
+}
+
+// metrics is the server-wide counter set exported at /metrics.
+type metrics struct {
+	endpoints []*endpointMetrics // fixed at construction; scrape iterates
+	samples   atomic.Uint64      // Gaussian samples served
+	signs     atomic.Uint64      // signatures produced
+	verifies  atomic.Uint64      // verification requests evaluated
+}
+
+func newMetrics(endpointNames []string) *metrics {
+	m := &metrics{}
+	for _, n := range endpointNames {
+		m.endpoints = append(m.endpoints, &endpointMetrics{name: n})
+	}
+	return m
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	for _, e := range m.endpoints {
+		if e.name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// sigmaStats is the per-σ pool telemetry joined into the scrape by the
+// server (batch and refill counts live on the coalescers).
+type sigmaStats struct {
+	sigma            string
+	batches          uint64
+	refills          uint64
+	samples          uint64
+	batchesPerRefill int
+	shards           int
+}
+
+// writePrometheus renders the whole counter set in Prometheus text
+// exposition format.
+func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, draining bool) {
+	fmt.Fprintln(w, "# HELP ctgaussd_requests_total Requests admitted per endpoint (past the drain gate and the admission queue; 429 rejections are counted separately).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_requests_total counter")
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "ctgaussd_requests_total{endpoint=%q} %d\n", e.name, e.requests.Load())
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_errors_total Responses with status >= 400, excluding backpressure rejections.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_errors_total counter")
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "ctgaussd_errors_total{endpoint=%q} %d\n", e.name, e.errors.Load())
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_rejected_total Requests rejected with 429 (admission queue full).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_rejected_total counter")
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "ctgaussd_rejected_total{endpoint=%q} %d\n", e.name, e.rejected.Load())
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_drain_refused_total Requests refused with 503 at the drain gate during shutdown.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_drain_refused_total counter")
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "ctgaussd_drain_refused_total{endpoint=%q} %d\n", e.name, e.refused.Load())
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_inflight Requests currently being served per endpoint.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_inflight gauge")
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "ctgaussd_inflight{endpoint=%q} %d\n", e.name, e.inflight.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP ctgaussd_latency_seconds Request latency quantiles per endpoint (log2-bucket upper bounds).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_latency_seconds gauge")
+	for _, e := range m.endpoints {
+		for _, q := range []float64{0.5, 0.99} {
+			fmt.Fprintf(w, "ctgaussd_latency_seconds{endpoint=%q,quantile=%q} %g\n",
+				e.name, fmt.Sprintf("%g", q), e.lat.quantile(q))
+		}
+		count := e.lat.count.Load()
+		if count > 0 {
+			mean := float64(e.lat.sumNs.Load()) / float64(count) / 1e9
+			fmt.Fprintf(w, "ctgaussd_latency_seconds{endpoint=%q,quantile=\"mean\"} %g\n", e.name, mean)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP ctgaussd_samples_served_total Gaussian samples returned to clients.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_samples_served_total counter")
+	fmt.Fprintf(w, "ctgaussd_samples_served_total %d\n", m.samples.Load())
+	fmt.Fprintln(w, "# HELP ctgaussd_signatures_total Falcon signatures produced.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_signatures_total counter")
+	fmt.Fprintf(w, "ctgaussd_signatures_total %d\n", m.signs.Load())
+	fmt.Fprintln(w, "# HELP ctgaussd_verifies_total Falcon verifications evaluated.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_verifies_total counter")
+	fmt.Fprintf(w, "ctgaussd_verifies_total %d\n", m.verifies.Load())
+
+	sort.Slice(sigmas, func(i, j int) bool { return sigmas[i].sigma < sigmas[j].sigma })
+	fmt.Fprintln(w, "# HELP ctgaussd_batches_total 64-sample batches drawn from the pool per sigma.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_batches_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_batches_total{sigma=%q} %d\n", s.sigma, s.batches)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_refills_total Circuit evaluations (randomness refills) per sigma.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_refills_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_refills_total{sigma=%q} %d\n", s.sigma, s.refills)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_pool_samples_total Samples drawn per sigma (batches x 64 minus buffered leftover is what clients saw).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_pool_samples_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_pool_samples_total{sigma=%q} %d\n", s.sigma, s.samples)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_batches_per_refill Evaluation width of the pool's engine (batches per refill).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_batches_per_refill gauge")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_batches_per_refill{sigma=%q} %d\n", s.sigma, s.batchesPerRefill)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_pool_shards Shard count of the per-sigma sampling pool.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_pool_shards gauge")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_pool_shards{sigma=%q} %d\n", s.sigma, s.shards)
+	}
+
+	fmt.Fprintln(w, "# HELP ctgaussd_draining Whether the server is draining (1) or accepting requests (0).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_draining gauge")
+	d := 0
+	if draining {
+		d = 1
+	}
+	fmt.Fprintf(w, "ctgaussd_draining %d\n", d)
+}

@@ -1,0 +1,504 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ctgauss"
+	"ctgauss/falcon"
+)
+
+// Config wires a Server.  The zero value of optional fields picks the
+// documented defaults; Sigmas must name at least one σ.
+type Config struct {
+	// Sigmas are the standard deviations served at /v1/samples; pools for
+	// all of them are built (or loaded from the registry cache) at
+	// startup, so request latency never includes a circuit build.  The
+	// first entry is the default σ for requests that omit the field.
+	Sigmas []string
+	// PoolShards is the shard count of each sampling pool (0 = NumCPU).
+	PoolShards int
+	// Seed is the master sampling seed; each σ pool derives its own seed
+	// from it with domain separation (PoolSeed).  Defaults to a fixed,
+	// publicly known development seed — set fresh randomness in
+	// production.
+	Seed []byte
+	// PRNG selects the pool generator: "chacha20" (default), "shake256",
+	// "aes-ctr".
+	PRNG string
+
+	// FalconKey, when set, is the signing key served by the Falcon
+	// endpoints.  Otherwise a key is generated deterministically from
+	// FalconN and FalconSeed; FalconN = 0 disables the Falcon endpoints.
+	FalconKey    *falcon.PrivateKey
+	FalconN      int
+	FalconSeed   []byte
+	FalconKind   falcon.BaseSamplerKind
+	FalconShards int // signer pool shard count (0 = NumCPU)
+
+	// MaxCount caps the per-request sample count (default 65536); larger
+	// requests get 413.
+	MaxCount int
+	// QueueDepth bounds concurrently admitted requests per endpoint
+	// (default 256); excess load is rejected with 429 instead of queueing
+	// without bound.
+	QueueDepth int
+}
+
+// Endpoint names used for metrics and admission queues.
+const (
+	epSamples = "samples"
+	epSign    = "falcon_sign"
+	epVerify  = "falcon_verify"
+	epKey     = "falcon_key"
+)
+
+// Server is the ctgaussd HTTP serving layer: the handler set plus the
+// drain/backpressure machinery around the sampling and signing pools.
+// Construct with New, mount Handler, stop with Drain.
+type Server struct {
+	cfg          Config
+	defaultSigma string
+	co           map[string]*coalescer
+	signers      *falcon.SignerPool
+	pubEnc       string // base64 EncodePublic, fixed at startup
+	m            *metrics
+	queues       map[string]chan struct{}
+	handler      http.Handler
+	start        time.Time
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// testHook, when set, runs inside every admitted request after the
+	// admission queue slot is taken — test instrumentation for drain and
+	// backpressure behaviour.
+	testHook func(endpoint string)
+}
+
+// PoolSeed derives the sampling-pool seed for one σ from the server's
+// master seed with domain separation.  Exported so clients (and tests)
+// can reconstruct a pool that is stream-identical to the served one.
+func PoolSeed(master []byte, sigma string) []byte {
+	h := sha256.New()
+	h.Write([]byte("ctgauss/server/samples"))
+	h.Write([]byte(sigma))
+	h.Write([]byte{0})
+	h.Write(master)
+	return h.Sum(nil)
+}
+
+// falconPoolSeed mirrors PoolSeed for the signing pool.
+func falconPoolSeed(master []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("ctgauss/server/falcon"))
+	h.Write(master)
+	return h.Sum(nil)
+}
+
+// New builds every pool in cfg and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Sigmas) == 0 {
+		return nil, fmt.Errorf("server: config needs at least one sigma")
+	}
+	if cfg.MaxCount <= 0 {
+		cfg.MaxCount = 65536
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Seed == nil {
+		cfg.Seed = []byte("ctgaussd-default-seed")
+	}
+	s := &Server{
+		cfg:          cfg,
+		defaultSigma: cfg.Sigmas[0],
+		co:           make(map[string]*coalescer),
+		m:            newMetrics([]string{epSamples, epSign, epVerify, epKey}),
+		queues:       make(map[string]chan struct{}),
+		start:        time.Now(),
+	}
+	for _, sigma := range cfg.Sigmas {
+		if _, dup := s.co[sigma]; dup {
+			return nil, fmt.Errorf("server: sigma %q listed twice", sigma)
+		}
+		pool, err := ctgauss.NewPoolWithConfig(ctgauss.Config{
+			Sigma: sigma,
+			Seed:  PoolSeed(cfg.Seed, sigma),
+			PRNG:  cfg.PRNG,
+		}, cfg.PoolShards)
+		if err != nil {
+			return nil, fmt.Errorf("server: building σ=%s pool: %w", sigma, err)
+		}
+		s.co[sigma] = newCoalescer(sigma, pool)
+	}
+
+	sk := cfg.FalconKey
+	if sk == nil && cfg.FalconN != 0 {
+		seed := cfg.FalconSeed
+		if seed == nil {
+			seed = falconPoolSeed(cfg.Seed)
+		}
+		var err error
+		sk, err = falcon.Keygen(cfg.FalconN, seed)
+		if err != nil {
+			return nil, fmt.Errorf("server: falcon keygen: %w", err)
+		}
+	}
+	if sk != nil {
+		signSeed := cfg.FalconSeed
+		if signSeed == nil {
+			signSeed = falconPoolSeed(cfg.Seed)
+		}
+		pool, err := falcon.NewSignerPool(sk, cfg.FalconKind, signSeed, cfg.FalconShards)
+		if err != nil {
+			return nil, fmt.Errorf("server: falcon signer pool: %w", err)
+		}
+		s.signers = pool
+		s.pubEnc = base64.StdEncoding.EncodeToString(sk.Public().EncodePublic())
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/samples", s.endpoint(epSamples, s.handleSamples))
+	if s.signers != nil {
+		mux.Handle("/v1/falcon/sign", s.endpoint(epSign, s.handleSign))
+		mux.Handle("/v1/falcon/verify", s.endpoint(epVerify, s.handleVerify))
+		mux.Handle("/v1/falcon/key", s.endpoint(epKey, s.handleKey))
+	}
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.handler = mux
+	for _, e := range s.m.endpoints {
+		s.queues[e.name] = make(chan struct{}, cfg.QueueDepth)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree (mountable under httptest or an
+// http.Server).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// FalconEnabled reports whether the Falcon endpoints are mounted.
+func (s *Server) FalconEnabled() bool { return s.signers != nil }
+
+// Drain gracefully stops the server: new requests are refused with 503
+// while requests already admitted run to completion; Drain returns once
+// the last one finishes.  The HTTP listener itself is the caller's to
+// close (http.Server.Shutdown pairs with Drain in cmd/ctgaussd).
+func (s *Server) Drain() {
+	s.stopAccepting()
+	s.inflight.Wait()
+}
+
+func (s *Server) stopAccepting() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// tryEnter admits a request past the drain gate, registering it with the
+// in-flight group; callers must exit() after serving.
+func (s *Server) tryEnter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// endpoint wraps a handler with the serving discipline every /v1 route
+// shares: drain gate (503), bounded admission queue (429), in-flight
+// accounting, and latency/request metrics.
+func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
+	em := s.m.endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.tryEnter() {
+			em.refused.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		defer s.inflight.Done()
+		queue := s.queues[name]
+		select {
+		case queue <- struct{}{}:
+		default:
+			em.rejected.Add(1)
+			writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+			return
+		}
+		defer func() { <-queue }()
+		if s.testHook != nil {
+			s.testHook(name)
+		}
+		em.requests.Add(1)
+		em.inflight.Add(1)
+		defer em.inflight.Add(-1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		em.lat.observe(time.Since(start))
+		if rec.status >= 400 {
+			em.errors.Add(1)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// decodeBody parses a JSON request body into v with a 1 MiB cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// samplesRequest is the /v1/samples request schema.
+type samplesRequest struct {
+	// Count is the number of samples wanted (1 ≤ Count ≤ MaxCount).
+	Count int `json:"count"`
+	// Sigma selects the distribution; empty means the server default.
+	Sigma string `json:"sigma,omitempty"`
+}
+
+// samplesResponse is the /v1/samples response schema.
+type samplesResponse struct {
+	Sigma   string `json:"sigma"`
+	Count   int    `json:"count"`
+	Samples []int  `json:"samples"`
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req samplesRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Sigma == "" {
+		req.Sigma = s.defaultSigma
+	}
+	co, ok := s.co[req.Sigma]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown sigma %q (served: %v)", req.Sigma, s.cfg.Sigmas))
+		return
+	}
+	if req.Count < 1 {
+		writeError(w, http.StatusBadRequest, "count must be >= 1")
+		return
+	}
+	if req.Count > s.cfg.MaxCount {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("count %d exceeds limit %d", req.Count, s.cfg.MaxCount))
+		return
+	}
+	out := make([]int, req.Count)
+	co.draw(out)
+	s.m.samples.Add(uint64(req.Count))
+	writeJSON(w, http.StatusOK, samplesResponse{Sigma: req.Sigma, Count: req.Count, Samples: out})
+}
+
+// signRequest is the /v1/falcon/sign request schema.
+type signRequest struct {
+	// Message is the base64 (standard encoding) payload to sign.
+	Message string `json:"message"`
+}
+
+// signResponse is the /v1/falcon/sign response schema.
+type signResponse struct {
+	// Signature is the base64 of Signature.Encode (salt ‖ length header ‖
+	// compressed s1).
+	Signature string `json:"signature"`
+}
+
+func (s *Server) handleSign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req signRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	msg, err := base64.StdEncoding.DecodeString(req.Message)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "message is not valid base64: "+err.Error())
+		return
+	}
+	sig, err := s.signers.Sign(msg)
+	if err != nil {
+		// Signing only fails when the attempt budget is exhausted —
+		// astronomically unlikely with a healthy key; report it as a
+		// server-side failure, not a client error.
+		writeError(w, http.StatusInternalServerError, "signing failed: "+err.Error())
+		return
+	}
+	s.m.signs.Add(1)
+	writeJSON(w, http.StatusOK, signResponse{Signature: base64.StdEncoding.EncodeToString(sig.Encode())})
+}
+
+// verifyRequest is the /v1/falcon/verify request schema.
+type verifyRequest struct {
+	Message   string `json:"message"`
+	Signature string `json:"signature"`
+	// PublicKey optionally carries a base64 EncodePublic key to verify
+	// against; empty means the server's own key.
+	PublicKey string `json:"public_key,omitempty"`
+}
+
+// verifyResponse is the /v1/falcon/verify response schema.  A failed
+// verification is a 200 with Valid=false — the transport succeeded; the
+// signature just doesn't check out.
+type verifyResponse struct {
+	Valid  bool   `json:"valid"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req verifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	msg, err := base64.StdEncoding.DecodeString(req.Message)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "message is not valid base64: "+err.Error())
+		return
+	}
+	rawSig, err := base64.StdEncoding.DecodeString(req.Signature)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "signature is not valid base64: "+err.Error())
+		return
+	}
+	s.m.verifies.Add(1)
+	sig, err := falcon.DecodeSignature(rawSig)
+	if err != nil {
+		writeJSON(w, http.StatusOK, verifyResponse{Valid: false, Reason: err.Error()})
+		return
+	}
+	if req.PublicKey != "" {
+		rawPk, err := base64.StdEncoding.DecodeString(req.PublicKey)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "public_key is not valid base64: "+err.Error())
+			return
+		}
+		pk, err := falcon.DecodePublic(rawPk)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "public_key malformed: "+err.Error())
+			return
+		}
+		if err := pk.Verify(msg, sig); err != nil {
+			writeJSON(w, http.StatusOK, verifyResponse{Valid: false, Reason: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, verifyResponse{Valid: true})
+		return
+	}
+	if err := s.signers.Verify(msg, sig); err != nil {
+		writeJSON(w, http.StatusOK, verifyResponse{Valid: false, Reason: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, verifyResponse{Valid: true})
+}
+
+// keyResponse is the /v1/falcon/key response schema.
+type keyResponse struct {
+	Params    string `json:"params"`
+	N         int    `json:"n"`
+	PublicKey string `json:"public_key"` // base64 EncodePublic
+}
+
+func (s *Server) handleKey(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	p := s.signers.Public().Params
+	writeJSON(w, http.StatusOK, keyResponse{Params: p.Name, N: p.N, PublicKey: s.pubEnc})
+}
+
+// healthResponse is the /healthz schema.
+type healthResponse struct {
+	Status        string   `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Sigmas        []string `json:"sigmas"`
+	DefaultSigma  string   `json:"default_sigma"`
+	PoolShards    int      `json:"pool_shards"`
+	Falcon        string   `json:"falcon,omitempty"` // parameter-set name
+	FalconShards  int      `json:"falcon_shards,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.isDraining() {
+		status = "draining"
+	}
+	resp := healthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Sigmas:        s.cfg.Sigmas,
+		DefaultSigma:  s.defaultSigma,
+		PoolShards:    s.co[s.defaultSigma].pool.Size(),
+	}
+	if s.signers != nil {
+		resp.Falcon = s.signers.Public().Params.Name
+		resp.FalconShards = s.signers.Size()
+	}
+	code := http.StatusOK
+	if status == "draining" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sigmas []sigmaStats
+	for _, co := range s.co {
+		sigmas = append(sigmas, co.sigmaStats())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.writePrometheus(w, sigmas, s.isDraining())
+}
