@@ -1,0 +1,96 @@
+package ctgauss
+
+import (
+	"ctgauss/internal/convolve"
+)
+
+// ArbitraryConfig controls an arbitrary-(σ, μ) sampler.  The zero value
+// selects the documented defaults.
+type ArbitraryConfig struct {
+	// BaseSigmas are the decimal σ strings of the compiled base set
+	// (default {"2", "6.15543"}, the paper's two evaluation
+	// configurations).  The smallest member must be ≥ 1.
+	BaseSigmas []string
+	// Shards is the concurrency width (0 = NumCPU); each shard owns
+	// independent base and coin streams.
+	Shards int
+	// Seed keys the streams (fixed development default; pass fresh
+	// randomness in production, as with Pool).
+	Seed []byte
+	// PRNG selects the generator: "chacha20" (default), "shake256",
+	// "aes-ctr".
+	PRNG string
+	// Workers bounds the build parallelism of a cold base-set
+	// compilation (0 = all CPUs).
+	Workers int
+	// MinSigma and MaxSigma bound admissible σ requests (defaults 0.9
+	// and 4096).
+	MinSigma, MaxSigma float64
+}
+
+// ArbitraryPlan describes how one σ is served: the dominating proposal
+// width and the base draws of one trial (see internal/convolve).
+type ArbitraryPlan = convolve.PlanInfo
+
+// ArbitraryStats is a snapshot of an Arbitrary sampler's counters.
+type ArbitraryStats = convolve.Stats
+
+// Arbitrary serves D_{ℤ,σ,μ} for any admissible (σ, μ) from one
+// compiled base set: the convolution layer (internal/convolve) selects
+// a Micciancio–Walter-style ladder of base draws whose width dominates
+// the target and reshapes it with constant-time randomized rounding.
+// One Arbitrary replaces an unbounded family of per-σ samplers; the
+// base set is resolved through the registry as a single artifact, so
+// any number of Arbitrary instances (and the per-σ pools sharing its
+// members) build each circuit at most once per process.
+//
+// Next and NextBatch are safe for any number of concurrent callers.
+type Arbitrary struct {
+	inner *convolve.Sampler
+}
+
+// NewArbitrary builds (or loads from the registry cache) the base set
+// and returns a ready sampler.
+func NewArbitrary(cfg ArbitraryConfig) (*Arbitrary, error) {
+	s, err := convolve.New(convolve.Config{
+		Bases:    cfg.BaseSigmas,
+		Shards:   cfg.Shards,
+		Seed:     cfg.Seed,
+		PRNG:     cfg.PRNG,
+		Workers:  cfg.Workers,
+		MinSigma: cfg.MinSigma,
+		MaxSigma: cfg.MaxSigma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Arbitrary{inner: s}, nil
+}
+
+// Next returns one sample from D_{ℤ,σ,μ}.
+func (a *Arbitrary) Next(sigma, mu float64) (int, error) {
+	return a.inner.Next(sigma, mu)
+}
+
+// NextBatch fills all of dst with independent samples from D_{ℤ,σ,μ}.
+// Unlike Sampler.NextBatch and Pool.NextBatch — whose native granularity
+// is a fixed 64-sample batch — every length is served exactly.
+func (a *Arbitrary) NextBatch(sigma, mu float64, dst []int) error {
+	return a.inner.NextBatch(sigma, mu, dst)
+}
+
+// Plan reports how sigma would be served: the dominating proposal width
+// and the base draws of one trial.
+func (a *Arbitrary) Plan(sigma float64) (ArbitraryPlan, error) {
+	return a.inner.Plan(sigma)
+}
+
+// Stats returns the serving counters (trials, acceptances, distinct
+// plans, base-set provenance).
+func (a *Arbitrary) Stats() ArbitraryStats { return a.inner.Stats() }
+
+// BitsUsed reports total random bits consumed across all streams.
+func (a *Arbitrary) BitsUsed() uint64 { return a.inner.BitsUsed() }
+
+// Bounds returns the admissible σ range.
+func (a *Arbitrary) Bounds() (min, max float64) { return a.inner.Bounds() }

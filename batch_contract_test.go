@@ -1,0 +1,90 @@
+package ctgauss_test
+
+import (
+	"strings"
+	"testing"
+
+	"ctgauss"
+)
+
+// TestNextBatchLengthContract is the regression test for the documented
+// NextBatch length handling shared by Sampler and Pool: a buffer shorter
+// than the 64-sample native granularity is rejected with a panic (it
+// would silently drop paid-for samples), exactly 64 entries are written
+// otherwise, and any tail beyond 64 is left untouched.
+func TestNextBatchLengthContract(t *testing.T) {
+	s, err := ctgauss.NewWithConfig(ctgauss.Config{Sigma: "2", Precision: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ctgauss.NewPoolWithConfig(ctgauss.Config{Sigma: "2", Precision: 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impls := map[string]func([]int){
+		"Sampler": s.NextBatch,
+		"Pool":    p.NextBatch,
+	}
+	for name, next := range impls {
+		// Reject: len < 64 panics with the documented message.
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: NextBatch accepted a 63-entry buffer", name)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "need ≥ 64") {
+					t.Fatalf("%s: unexpected panic value %v", name, r)
+				}
+			}()
+			next(make([]int, 63))
+		}()
+
+		// Exactly 64: every slot written (the sentinel is unreachable:
+		// supports are far below 2^40).
+		const sentinel = 1 << 40
+		dst := make([]int, 64)
+		for i := range dst {
+			dst[i] = sentinel
+		}
+		next(dst)
+		for i, v := range dst {
+			if v == sentinel {
+				t.Fatalf("%s: len-64 buffer slot %d left unfilled", name, i)
+			}
+		}
+
+		// Short-fill: len > 64 writes exactly dst[:64]; the tail must be
+		// bit-for-bit untouched.
+		dst = make([]int, 100)
+		for i := range dst {
+			dst[i] = sentinel
+		}
+		next(dst)
+		for i := 0; i < 64; i++ {
+			if dst[i] == sentinel {
+				t.Fatalf("%s: len-100 buffer slot %d left unfilled", name, i)
+			}
+		}
+		for i := 64; i < len(dst); i++ {
+			if dst[i] != sentinel {
+				t.Fatalf("%s: len-100 buffer tail slot %d overwritten with %d", name, i, dst[i])
+			}
+		}
+	}
+
+	// Contrast: the arbitrary layer serves every length exactly.
+	arb, err := ctgauss.NewArbitrary(ctgauss.ArbitraryConfig{BaseSigmas: []string{"2"}, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []int{1 << 40, 1 << 40, 1 << 40}
+	if err := arb.NextBatch(2.5, 0, short); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range short {
+		if v == 1<<40 {
+			t.Fatalf("Arbitrary: 3-entry buffer slot %d left unfilled", i)
+		}
+	}
+}

@@ -11,6 +11,9 @@
 //	ctgaussd -seed random                     # non-reproducible production seeds
 //	ctgaussd -cache /var/cache/ctgauss        # persist circuits across restarts
 //	ctgaussd -falcon-n 0                      # sampling only
+//	ctgaussd -arbitrary=false                 # precompiled σ menu only
+//	ctgaussd -arbitrary-bases 2,6.15543       # convolution base set
+//	ctgaussd -falcon-kind convolve            # SamplerZ via the convolution layer
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -drain-timeout), then
@@ -42,8 +45,11 @@ func main() {
 	shards := flag.Int("shards", 0, "sampling pool shards per σ (0 = NumCPU)")
 	seed := flag.String("seed", "", "master seed: hex, 'random' for fresh entropy, empty for the fixed dev seed")
 	prng := flag.String("prng", "chacha20", "pool PRNG: chacha20, shake256, aes-ctr")
+	arbitrary := flag.Bool("arbitrary", true, "serve free-form (σ, μ) at /v1/arbitrary and free-form σ at /v1/samples")
+	arbBases := flag.String("arbitrary-bases", "", "comma-separated base-set σ values for the convolution layer (default 2,6.15543)")
+	arbShards := flag.Int("arbitrary-shards", 0, "arbitrary sampler shards (0 = NumCPU)")
 	falconN := flag.Int("falcon-n", 512, "Falcon ring degree (256/512/1024); 0 disables the Falcon endpoints")
-	falconKind := flag.String("falcon-kind", "bitsliced", "base sampler: bitsliced, cdt, bytescan, linear")
+	falconKind := flag.String("falcon-kind", "bitsliced", "base sampler: bitsliced, cdt, bytescan, linear, convolve")
 	falconShards := flag.Int("falcon-shards", 0, "signer pool shards (0 = NumCPU)")
 	queue := flag.Int("queue", 256, "per-endpoint admission queue depth (excess load gets 429)")
 	maxCount := flag.Int("max-count", 65536, "largest per-request sample count")
@@ -67,15 +73,18 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Sigmas:       splitList(*sigmas),
-		PoolShards:   *shards,
-		Seed:         masterSeed,
-		PRNG:         *prng,
-		FalconN:      *falconN,
-		FalconKind:   kind,
-		FalconShards: *falconShards,
-		MaxCount:     *maxCount,
-		QueueDepth:   *queue,
+		Sigmas:           splitList(*sigmas),
+		PoolShards:       *shards,
+		Seed:             masterSeed,
+		PRNG:             *prng,
+		FalconN:          *falconN,
+		FalconKind:       kind,
+		FalconShards:     *falconShards,
+		MaxCount:         *maxCount,
+		QueueDepth:       *queue,
+		DisableArbitrary: !*arbitrary,
+		ArbitraryBases:   splitList(*arbBases),
+		ArbitraryShards:  *arbShards,
 	}
 	buildStart := time.Now()
 	s, err := server.New(cfg)
@@ -160,8 +169,10 @@ func parseKind(s string) (falcon.BaseSamplerKind, error) {
 		return falcon.BaseByteScanCDT, nil
 	case "linear":
 		return falcon.BaseLinearCDT, nil
+	case "convolve":
+		return falcon.BaseConvolve, nil
 	}
-	return 0, fmt.Errorf("unknown -falcon-kind %q (want bitsliced, cdt, bytescan or linear)", s)
+	return 0, fmt.Errorf("unknown -falcon-kind %q (want bitsliced, cdt, bytescan, linear or convolve)", s)
 }
 
 func splitList(s string) []string {

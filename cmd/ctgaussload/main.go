@@ -8,6 +8,8 @@
 // Usage:
 //
 //	ctgaussload                                      # 8 clients × 100 sample requests
+//	ctgaussload -sigma 3.5                           # free-form σ through /v1/samples
+//	ctgaussload -mode arbitrary -sigma 17.5 -mu 0.375
 //	ctgaussload -mode sign -clients 4 -requests 50
 //	ctgaussload -mode mix -count 256
 //	ctgaussload -addr http://gauss.internal:8754 -json report.json
@@ -25,11 +27,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8754", "ctgaussd base URL")
-	mode := flag.String("mode", "samples", "workload: samples, sign, verify, or mix")
+	mode := flag.String("mode", "samples", "workload: samples, arbitrary, sign, verify, or mix")
 	clients := flag.Int("clients", 8, "concurrent client loops")
 	requests := flag.Int("requests", 100, "requests per client")
-	count := flag.Int("count", 64, "samples per request (samples mode)")
-	sigma := flag.String("sigma", "", "σ to request (empty = server default)")
+	count := flag.Int("count", 64, "samples per request (samples/arbitrary modes)")
+	sigma := flag.String("sigma", "", "σ to request — any decimal the daemon's arbitrary layer admits, not just precompiled values (empty = server default; arbitrary mode default 3.3)")
+	mu := flag.Float64("mu", 0, "center μ for arbitrary-mode requests")
 	message := flag.String("message", "ctgaussload message", "payload for sign/verify requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	jsonPath := flag.String("json", "-", "report destination (\"-\" = stdout)")
@@ -42,6 +45,7 @@ func main() {
 		Requests: *requests,
 		Count:    *count,
 		Sigma:    *sigma,
+		Mu:       *mu,
 		Message:  []byte(*message),
 		Timeout:  *timeout,
 	})

@@ -9,12 +9,15 @@
 //	samplebench -prng-overhead
 //	samplebench -parallel               # build pipeline + pool throughput
 //	samplebench -parallel -cache DIR    # ... with the on-disk circuit cache
+//	samplebench -arbitrary -json BENCH_PR4.json   # convolved vs direct-compiled
 //
-// The JSON report compares every evaluation engine (reference SSA
+// The Table-2 JSON report compares every evaluation engine (reference SSA
 // interpreter, register-allocated interpreter at widths 1/4/8, generated
 // native circuit) per σ, recording ns per 64-sample batch and the speedup
 // over the reference — the record BENCH_PR2.json keeps for the perf
-// trajectory.
+// trajectory.  The -arbitrary report compares the convolution layer's
+// free-form (σ, μ) throughput against the direct compiled circuits —
+// the record BENCH_PR4.json keeps for the serve-anything cost.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 func main() {
 	overhead := flag.Bool("prng-overhead", false, "measure the PRNG share of sampling time (§7)")
 	parallelMode := flag.Bool("parallel", false, "measure parallel build, cache hits, and pool serving throughput")
+	arbitraryMode := flag.Bool("arbitrary", false, "measure the convolution layer (free-form σ, μ) vs direct compiled circuits")
 	goroutines := flag.String("goroutines", "1,4,16", "comma-separated pool caller counts for -parallel")
 	cacheDir := flag.String("cache", "", "on-disk circuit cache directory for -parallel (default: memory only)")
 	sigma := flag.String("sigma", "2", "σ for -parallel")
@@ -55,7 +59,7 @@ func main() {
 	}
 
 	if *jsonPath != "" && (*overhead || *parallelMode) {
-		check(fmt.Errorf("-json applies only to the Table 2 mode (run without -prng-overhead/-parallel)"))
+		check(fmt.Errorf("-json applies only to the Table 2 and -arbitrary modes (run without -prng-overhead/-parallel)"))
 	}
 	if *overhead {
 		prngOverhead(*batches)
@@ -63,6 +67,10 @@ func main() {
 	}
 	if *parallelMode {
 		parallelBench(*sigma, *goroutines, *batches)
+		return
+	}
+	if *arbitraryMode {
+		arbitraryBench(*batches, *jsonPath)
 		return
 	}
 	table2(*batches, *cyclesPerNs, *jsonPath)
@@ -227,6 +235,107 @@ func table2(batches int, ghz float64, jsonPath string) {
 	fmt.Println("paper (i7-6600U): σ=2: 3787 → 2293 cycles (37%); σ=6.15543: 11136 → 9880 (11%,")
 	fmt.Println("baseline hand-optimized). Our naive-merge baseline is weaker than Espresso+gcc,")
 	fmt.Println("so the measured improvement is larger; the ordering (split wins) is the claim.")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		check(err)
+	}
+}
+
+// arbRow is one (σ, μ, engine) measurement of the -arbitrary report.
+type arbRow struct {
+	Sigma         float64 `json:"sigma"`
+	Mu            float64 `json:"mu"`
+	Engine        string  `json:"engine"` // "direct-compiled" or "convolved"
+	NsPerSample   float64 `json:"ns_per_sample"`
+	SigmaProposal float64 `json:"sigma_proposal,omitempty"`
+	DrawsPerTrial int     `json:"draws_per_trial,omitempty"`
+	AcceptRate    float64 `json:"accept_rate,omitempty"`
+}
+
+// arbReport is the samplebench -arbitrary JSON schema (BENCH_PR4.json).
+type arbReport struct {
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	CPUs    int      `json:"cpus"`
+	Samples int      `json:"samples_per_measurement"`
+	Bases   []string `json:"bases"`
+	Rows    []arbRow `json:"rows"`
+}
+
+// arbitraryBench compares the convolution layer's free-form (σ, μ)
+// throughput against the direct compiled circuits: the direct rows are
+// the floor (a circuit exists for exactly that σ), the convolved rows
+// are the price of serving any σ — including the two base values
+// themselves, where the gap is pure convolution overhead.
+func arbitraryBench(batches int, jsonPath string) {
+	samples := batches * 64
+	report := arbReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Samples: samples, Bases: []string{"2", "6.15543"},
+	}
+	fmt.Printf("convolution layer vs direct compiled circuits — %d samples per measurement\n\n", samples)
+	fmt.Printf("%-10s %-6s %-18s %12s %10s %8s %8s\n", "sigma", "mu", "engine", "ns/sample", "sigma_p", "draws", "accept")
+
+	// Direct rows: the pregenerated native circuits.
+	for _, sigma := range []string{"2", "6.15543"} {
+		fn, nin, nv, ok := gen.Lookup(sigma)
+		if !ok {
+			check(fmt.Errorf("no generated circuit for σ=%s", sigma))
+		}
+		sc := sampler.NewCompiled("compiled", fn, nin, nv, prng.MustChaCha20([]byte("arb-bench")))
+		ns := float64(timeBatches(sc, batches).Nanoseconds()) / float64(samples)
+		sf, _ := strconv.ParseFloat(sigma, 64)
+		report.Rows = append(report.Rows, arbRow{Sigma: sf, Engine: "direct-compiled", NsPerSample: ns})
+		fmt.Printf("%-10s %-6g %-18s %12.1f\n", sigma, 0.0, "direct-compiled", ns)
+	}
+
+	arb, err := ctgauss.NewArbitrary(ctgauss.ArbitraryConfig{Shards: 1, Seed: []byte("arb-bench")})
+	check(err)
+	for _, tc := range []struct{ sigma, mu float64 }{
+		{2, 0},        // base member: gap vs direct row is pure layer overhead
+		{3.3, 0},      // non-precompiled σ
+		{6.15543, 0},  // the other base member
+		{17.5, 0.375}, // non-precompiled σ, non-zero center
+		{300, -0.5},   // deep ladder
+	} {
+		plan, err := arb.Plan(tc.sigma)
+		check(err)
+		dst := make([]int, 4096)
+		// Warm plan and buffers before timing.
+		check(arb.NextBatch(tc.sigma, tc.mu, dst))
+		before := arb.Stats()
+		start := time.Now()
+		drawn := 0
+		for drawn < samples {
+			n := samples - drawn
+			if n > len(dst) {
+				n = len(dst)
+			}
+			check(arb.NextBatch(tc.sigma, tc.mu, dst[:n]))
+			drawn += n
+		}
+		elapsed := time.Since(start)
+		after := arb.Stats()
+		rate := float64(after.Accepted-before.Accepted) / float64(after.Trials-before.Trials)
+		ns := float64(elapsed.Nanoseconds()) / float64(samples)
+		report.Rows = append(report.Rows, arbRow{
+			Sigma: tc.sigma, Mu: tc.mu, Engine: "convolved", NsPerSample: ns,
+			SigmaProposal: plan.SigmaP, DrawsPerTrial: plan.Draws(), AcceptRate: rate,
+		})
+		fmt.Printf("%-10g %-6g %-18s %12.1f %10.3f %8d %7.0f%%\n",
+			tc.sigma, tc.mu, "convolved", ns, plan.SigmaP, plan.Draws(), 100*rate)
+	}
+	fmt.Println("\nconvolved rows pay per-trial rejection (accept column) plus one base draw per")
+	fmt.Println("ladder term; direct rows are the per-σ compiled floor the registry serves when")
+	fmt.Println("a circuit exists.  BENCH_PR4.json records this table.")
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -118,8 +118,12 @@ func NewWithConfig(cfg Config) (*Sampler, error) {
 // Next returns one signed sample from D_σ.
 func (s *Sampler) Next() int { return s.inner.Next() }
 
-// NextBatch fills dst (len ≥ 64) with 64 signed samples — the native
-// bitsliced granularity.
+// NextBatch fills dst with 64 signed samples — the native bitsliced
+// granularity.  The length contract: len(dst) < 64 is rejected with a
+// panic (a short buffer would silently drop samples of a batch whose
+// cost was already paid); len(dst) ≥ 64 short-fills exactly dst[:64]
+// and leaves the tail untouched.  For exact arbitrary-length draws use
+// Arbitrary.NextBatch, whose compacting layer serves any length.
 func (s *Sampler) NextBatch(dst []int) { s.inner.NextBatch(dst) }
 
 // BitsUsed reports total random bits consumed.  Consumption is

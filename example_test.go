@@ -66,3 +66,26 @@ func ExampleNewPool() {
 	// Output:
 	// 4 [-1 4 -3 0 1 2]
 }
+
+func ExampleNewArbitrary() {
+	// An Arbitrary sampler serves ANY admissible (σ, μ) from one
+	// compiled base set — here just σ=2 — via convolution plus
+	// constant-time randomized rounding.  No per-σ build happens at
+	// request time, and every batch length is served exactly.
+	arb, err := ctgauss.NewArbitrary(ctgauss.ArbitraryConfig{
+		BaseSigmas: []string{"2"},
+		Shards:     1,
+		Seed:       []byte("example"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	samples := make([]int, 5)
+	if err := arb.NextBatch(17.5, 0.375, samples); err != nil {
+		panic(err)
+	}
+	plan, _ := arb.Plan(17.5)
+	fmt.Println(len(samples), plan.Draws() > 1, plan.SigmaP >= 17.5)
+	// Output:
+	// 5 true true
+}

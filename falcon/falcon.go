@@ -36,6 +36,11 @@ const (
 	BaseByteScanCDT = ifalcon.BaseByteScanCDT
 	// BaseLinearCDT is the linear-search constant-time CDT sampler.
 	BaseLinearCDT = ifalcon.BaseLinearCDT
+	// BaseConvolve routes SamplerZ through the arbitrary-(σ, μ)
+	// convolution layer instead of a rejection loop over a fixed base:
+	// every ffSampling leaf (σ′, center) is served by the compiled base
+	// set with constant-time randomized rounding.
+	BaseConvolve = ifalcon.BaseConvolve
 )
 
 // Q is the Falcon modulus 12289.

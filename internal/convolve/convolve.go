@@ -1,0 +1,417 @@
+// Package convolve is the arbitrary-(σ, μ) sampling subsystem: a
+// constant-time convolution layer over a small set of compiled base
+// circuits.  The build pipeline compiles one branch-free circuit per
+// fixed σ, so every new σ would otherwise pay a full DDG-enumeration and
+// exact-minimization build; this package instead composes a fixed,
+// compiled base set into samples for any requested standard deviation
+// and center:
+//
+//  1. plan (plan.go): pick a Micciancio–Walter-style convolution ladder
+//     — a tree of a·L + R combines over base draws, flattened to the
+//     linear form Σ cᵢ·xᵢ — whose width dominates the target (σ_p ≥ σ)
+//     while every node keeps its coarse grid inside its fine sibling's
+//     smoothing range;
+//  2. combine + round (lanes.go): fold the convolved proposal to a
+//     bimodal candidate around the fractional center and accept with a
+//     branch-free fixed-point threshold (ctexp.go) — constant-time
+//     randomized rounding that reshapes the proposal to exactly
+//     D_{ℤ,σ,μ}.
+//
+// Base draws come from sharded wide samplers over registry artifacts
+// (one cache entry for the whole set, built in parallel), so refills
+// stay 512-lane batched exactly as in ctgauss.Pool; the subsystem turns
+// the build-once/serve-many stack into serve-anything without touching
+// the per-σ pipeline.
+//
+// The public surface is ctgauss.NewArbitrary; internal/falcon routes its
+// SamplerZ through this package behind the BaseConvolve flag, and
+// internal/server exposes it at /v1/arbitrary and as the free-form-σ
+// fallback of /v1/samples.
+package convolve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ctgauss/internal/core"
+	"ctgauss/internal/gaussian"
+	"ctgauss/internal/prng"
+	"ctgauss/internal/registry"
+	"ctgauss/internal/sampler"
+)
+
+// DefaultBases is the default base set: the paper's two evaluation
+// configurations, whose circuits ship pregenerated.
+var DefaultBases = []string{"2", "6.15543"}
+
+// Default request bounds.  MinSigma keeps the dominating proposal's
+// overshoot (and so the trial count) bounded; MaxSigma bounds the
+// convolution coefficient.
+const (
+	DefaultMinSigma = 0.9
+	DefaultMaxSigma = 4096
+)
+
+// laneBlock is the widest trial block evaluated under one shard lock —
+// one 64-sample base batch per combined member.
+const laneBlock = 64
+
+// Config describes an arbitrary-(σ, μ) sampler.
+type Config struct {
+	// Bases are the decimal σ strings of the base set (default
+	// DefaultBases).  The smallest member is the fine convolution
+	// component and must be ≥ 1 (≈ the smoothing parameter of ℤ, so the
+	// convolved proposal stays pointwise close to a Gaussian).
+	Bases []string
+	// Precision and TailCut configure the base circuits (defaults 128
+	// and 13, the paper's Falcon setting).
+	Precision int
+	TailCut   float64
+	// Shards is the concurrency width: each shard owns independent base
+	// sampler streams and a coin stream (0 = NumCPU).
+	Shards int
+	// Seed keys the shard streams (fixed development default; production
+	// must pass fresh randomness).
+	Seed []byte
+	// PRNG selects the generator: "chacha20" (default), "shake256",
+	// "aes-ctr".
+	PRNG string
+	// Workers bounds the build parallelism of a cold base-set
+	// compilation (0 = all CPUs); it never changes the artifacts.
+	Workers int
+	// MinSigma and MaxSigma bound admissible requests (defaults
+	// DefaultMinSigma, DefaultMaxSigma).
+	MinSigma, MaxSigma float64
+}
+
+func (c Config) normalize() Config {
+	if len(c.Bases) == 0 {
+		c.Bases = DefaultBases
+	}
+	if c.Precision == 0 {
+		c.Precision = 128
+	}
+	if c.TailCut == 0 {
+		c.TailCut = gaussian.DefaultTailCut
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.Seed == nil {
+		c.Seed = []byte("ctgauss-convolve-seed")
+	}
+	if c.PRNG == "" {
+		c.PRNG = "chacha20"
+	}
+	if c.MinSigma == 0 {
+		c.MinSigma = DefaultMinSigma
+	}
+	if c.MaxSigma == 0 {
+		c.MaxSigma = DefaultMaxSigma
+	}
+	return c
+}
+
+// laneSource feeds one base member's signed samples to the lane
+// evaluator, draining 64-sample batches from a width-8 (512-lane) wide
+// sampler so base randomness stays bulk-batched.
+type laneSource struct {
+	s      sampler.BatchSampler
+	buf    [64]int
+	used   int
+	popped uint64 // samples handed out (the per-trial draw ledger)
+}
+
+// accumulate pops n samples and adds them into acc scaled by coeff —
+// one plan term's contribution to the combined proposal, with a trip
+// count fixed by (n, plan) and branch-free per-value arithmetic.
+func (ls *laneSource) accumulate(acc []int64, coeff int64, n int) {
+	for i := 0; i < n; i++ {
+		if ls.used == len(ls.buf) {
+			ls.s.NextBatch(ls.buf[:])
+			ls.used = 0
+		}
+		acc[i] += coeff * int64(ls.buf[ls.used])
+		ls.used++
+	}
+	ls.popped += uint64(n)
+}
+
+// shard owns one set of independent streams plus lane scratch.
+type shard struct {
+	mu    sync.Mutex
+	bases []*laneSource
+	coins *prng.BitReader
+
+	xs [laneBlock]int64
+	cw [laneBlock]uint64
+	zs [laneBlock]int64
+}
+
+// Sampler draws from D_{ℤ,σ,μ} for any admissible (σ, μ).  Next and
+// NextBatch are safe for any number of concurrent callers; requests
+// round-robin across shards.
+type Sampler struct {
+	cfg        Config
+	set        *registry.SetArtifact
+	baseSigmas []float64
+	menu       []*recipe // admissible ladder recipes, sorted by width
+	shards     []*shard
+	ctr        atomic.Uint64
+
+	plans     sync.Map // math.Float64bits(σ) → *plan
+	planCount atomic.Uint64
+	trials    atomic.Uint64
+	accepted  atomic.Uint64
+}
+
+// New compiles (or loads) the base set as one registry artifact and
+// builds the sharded sampler over it.
+func New(cfg Config) (*Sampler, error) {
+	cfg = cfg.normalize()
+	cores := make([]core.Config, len(cfg.Bases))
+	sigmas := make([]float64, len(cfg.Bases))
+	fine := 0
+	for i, b := range cfg.Bases {
+		sf, err := strconv.ParseFloat(b, 64)
+		if err != nil || sf <= 0 {
+			return nil, fmt.Errorf("convolve: base σ %q is not a positive decimal", b)
+		}
+		sigmas[i] = sf
+		if sf < sigmas[fine] {
+			fine = i
+		}
+		cores[i] = core.Config{Sigma: b, N: cfg.Precision, TailCut: cfg.TailCut, Min: core.MinimizeExact, Workers: cfg.Workers}
+	}
+	if sigmas[fine] < 1 {
+		return nil, fmt.Errorf("convolve: smallest base σ = %g < 1; the fine convolution component must exceed the smoothing parameter of ℤ", sigmas[fine])
+	}
+	set, err := registry.Shared().GetSet(cores)
+	if err != nil {
+		return nil, fmt.Errorf("convolve: building base set: %w", err)
+	}
+	menu := buildMenu(sigmas, cfg.MaxSigma)
+	// The admissible range is what the menu can dominate: a narrow base
+	// set (small members bound the ladder coefficients) may top out
+	// below the configured MaxSigma, and a request beyond the widest
+	// recipe must be rejected — never served by a narrower proposal,
+	// which would emit the wrong distribution.
+	if widest := menu[len(menu)-1].width; cfg.MaxSigma > widest {
+		cfg.MaxSigma = widest
+	}
+	s := &Sampler{cfg: cfg, set: set, baseSigmas: sigmas, menu: menu, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		sh := &shard{bases: make([]*laneSource, len(cfg.Bases))}
+		for bi, art := range set.Members {
+			src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, bi))
+			if err != nil {
+				return nil, err
+			}
+			sh.bases[bi] = &laneSource{s: art.NewWideSampler(src, sampler.DefaultWidth)}
+			sh.bases[bi].used = len(sh.bases[bi].buf)
+		}
+		src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, coinRole))
+		if err != nil {
+			return nil, err
+		}
+		sh.coins = prng.NewBitReader(src)
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// coinRole is the domain-separation role index of a shard's coin stream
+// (base streams use their base-set index).
+const coinRole = 0xFFFF
+
+// shardSeed derives the stream seed for (shard, role) from the master
+// seed with domain separation, mirroring ctgauss.Pool's derivation.
+func shardSeed(seed []byte, shard, role int) []byte {
+	h := sha256.New()
+	h.Write([]byte("ctgauss/convolve/shard"))
+	var idx [8]byte
+	binary.BigEndian.PutUint32(idx[:4], uint32(shard))
+	binary.BigEndian.PutUint32(idx[4:], uint32(role))
+	h.Write(idx[:])
+	h.Write(seed)
+	return h.Sum(nil)
+}
+
+// planOf returns the cached plan for sigma, computing it on first use.
+func (s *Sampler) planOf(sigma float64) *plan {
+	key := math.Float64bits(sigma)
+	if p, ok := s.plans.Load(key); ok {
+		return p.(*plan)
+	}
+	p := planFor(sigma, s.menu)
+	if _, loaded := s.plans.LoadOrStore(key, &p); !loaded {
+		s.planCount.Add(1)
+	}
+	return &p
+}
+
+// check validates one request.
+func (s *Sampler) check(sigma, mu float64) error {
+	if math.IsNaN(sigma) || sigma < s.cfg.MinSigma || sigma > s.cfg.MaxSigma {
+		return fmt.Errorf("convolve: σ = %g outside the served range [%g, %g]", sigma, s.cfg.MinSigma, s.cfg.MaxSigma)
+	}
+	if math.IsNaN(mu) || math.Abs(mu) > 1<<52 {
+		return fmt.Errorf("convolve: center μ = %g is not a representable center", mu)
+	}
+	return nil
+}
+
+// Next returns one sample from D_{ℤ,σ,μ}.  Safe for concurrent use.
+func (s *Sampler) Next(sigma, mu float64) (int, error) {
+	var one [1]int
+	if err := s.NextBatch(sigma, mu, one[:]); err != nil {
+		return 0, err
+	}
+	return one[0], nil
+}
+
+// NextBatch fills all of dst with independent samples from D_{ℤ,σ,μ}.
+// Unlike the fixed-64 granularity of Sampler.NextBatch, any length is
+// served exactly (accepted candidates are compacted, so nothing rounds
+// to batch boundaries).  Safe for concurrent use.
+func (s *Sampler) NextBatch(sigma, mu float64, dst []int) error {
+	if err := s.check(sigma, mu); err != nil {
+		return err
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	p := s.planOf(sigma)
+	fl := math.Floor(mu)
+	r := mu - fl
+	off := int64(fl)
+
+	written := 0
+	for written < len(dst) {
+		// Size the trial block to the remaining need (acceptance is at
+		// least ~σ/(2σ_p) ≥ ~1/4, so 4× covers most blocks) without
+		// exceeding one base batch.
+		w := 4 * (len(dst) - written)
+		if w > laneBlock {
+			w = laneBlock
+		}
+		if w < 8 {
+			w = 8
+		}
+		sh := s.pick()
+		sh.mu.Lock()
+		for i := 0; i < w; i++ {
+			sh.xs[i] = 0
+		}
+		for _, term := range p.Terms {
+			sh.bases[term.Base].accumulate(sh.xs[:w], term.Coeff, w)
+		}
+		sh.coins.FillWords(sh.cw[:w])
+		mask := evalLanes(p, r, sh.xs[:w], sh.cw[:w], sh.zs[:w], w)
+		// Compaction: the only data-dependent control flow, and it
+		// depends only on accept bits — see the timing argument in
+		// lanes.go.
+		for i := 0; i < w && written < len(dst); i++ {
+			if mask>>uint(i)&1 == 1 {
+				dst[written] = int(sh.zs[i] + off)
+				written++
+			}
+		}
+		sh.mu.Unlock()
+		s.trials.Add(uint64(w))
+		s.accepted.Add(uint64(bits.OnesCount64(mask)))
+	}
+	return nil
+}
+
+// pick selects the next shard round-robin.
+func (s *Sampler) pick() *shard {
+	return s.shards[s.ctr.Add(1)%uint64(len(s.shards))]
+}
+
+// BitsUsed reports total random bits consumed across all shard streams
+// (base samplers and rounding coins).
+func (s *Sampler) BitsUsed() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.coins.BitsRead
+		for _, ls := range sh.bases {
+			total += ls.s.BitsUsed()
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// PlanTerm is one draw of a plan's ladder: Coeff × a sample of the base
+// member with standard deviation BaseSigma.
+type PlanTerm struct {
+	BaseSigma float64
+	Coeff     int64
+}
+
+// PlanInfo describes how one σ is served (diagnostics and benchmarks).
+type PlanInfo struct {
+	Sigma  float64    // requested σ
+	SigmaP float64    // dominating proposal width
+	Terms  []PlanTerm // base draws of one trial, in draw order
+}
+
+// Draws returns the base draws per trial.
+func (pi PlanInfo) Draws() int { return len(pi.Terms) }
+
+// Plan reports the convolution plan that serves sigma.
+func (s *Sampler) Plan(sigma float64) (PlanInfo, error) {
+	if err := s.check(sigma, 0); err != nil {
+		return PlanInfo{}, err
+	}
+	p := s.planOf(sigma)
+	pi := PlanInfo{Sigma: p.Sigma, SigmaP: p.SigmaP}
+	for _, t := range p.Terms {
+		pi.Terms = append(pi.Terms, PlanTerm{BaseSigma: s.baseSigmas[t.Base], Coeff: t.Coeff})
+	}
+	return pi, nil
+}
+
+// Stats is a snapshot of the sampler's serving counters.
+type Stats struct {
+	Bases      []string // base-set σ strings
+	BaseSigmas []float64
+	Shards     int
+	FromCache  bool   // base set loaded from the registry's disk cache
+	Trials     uint64 // combine/round trials evaluated
+	Accepted   uint64 // trials accepted (≥ samples handed out)
+	Plans      uint64 // distinct σ values planned
+}
+
+// AcceptRate returns Accepted/Trials (0 before any trial).
+func (st Stats) AcceptRate() float64 {
+	if st.Trials == 0 {
+		return 0
+	}
+	return float64(st.Accepted) / float64(st.Trials)
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Sampler) Stats() Stats {
+	return Stats{
+		Bases:      append([]string(nil), s.cfg.Bases...),
+		BaseSigmas: append([]float64(nil), s.baseSigmas...),
+		Shards:     len(s.shards),
+		FromCache:  s.set.FromDisk,
+		Trials:     s.trials.Load(),
+		Accepted:   s.accepted.Load(),
+		Plans:      s.planCount.Load(),
+	}
+}
+
+// Bounds returns the admissible σ range.
+func (s *Sampler) Bounds() (min, max float64) { return s.cfg.MinSigma, s.cfg.MaxSigma }

@@ -1,0 +1,101 @@
+package convolve
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements the constant-time acceptance threshold of the
+// randomized-rounding step: thr = ⌊2⁶³·exp(−t)⌋ for t ≥ 0, computed with
+// branch-free integer arithmetic so the rounding path never branches or
+// indexes memory on secret-derived values.  math.Exp is unsuitable here:
+// its range reduction takes value-dependent early exits, and the whole
+// point of the combine/round path is that every instruction executed is
+// independent of the candidate sample.
+//
+// Method: t/ln2 = q + f with q = ⌊t/ln2⌋ and f ∈ [0,1), so
+// exp(−t) = 2^−q · 2^−f.  2^−f = exp(−f·ln2) is evaluated in Q62
+// fixed point by a Horner recurrence over the Taylor series of exp(−x),
+//
+//	a_d = 1,  a_k = 1 − (x/k)·a_{k+1},  exp(−x) ≈ a_1,
+//
+// whose partial values all stay in (0, 1] for x ∈ [0, ln2), so the whole
+// evaluation runs in unsigned Q62 with two widening multiplies per term
+// and no sign handling.  Divisions by the loop index go through
+// precomputed Q62 reciprocals, so no hardware divide (data-dependent
+// latency on most cores) is ever issued.  The final 2^−q lands as a
+// single variable shift; Go defines over-wide unsigned shifts to yield 0,
+// which the compiler lowers branch-free.
+//
+// Accuracy: the degree-16 Taylor tail is < (ln2)¹⁷/17! ≈ 2·10⁻¹⁷ and each
+// Q62 multiply truncates below 2⁻⁶², so the threshold is exact to well
+// under one part in 10¹⁵ — far below anything a statistical acceptance
+// test at any feasible sample count can resolve.
+
+// ctExpDegree is the Taylor depth of the Q62 evaluation.
+const ctExpDegree = 16
+
+// q62One is 1.0 in Q62 fixed point.
+const q62One = uint64(1) << 62
+
+// q62Ln2 is ln2 in Q62 fixed point (⌊ln2·2⁶²⌋).
+const q62Ln2 = uint64(0x2c5c85fdf473de6a)
+
+// invLn2 is 1/ln2 (float64, for the range reduction t → t/ln2).
+const invLn2 = 1 / math.Ln2
+
+// q62Recip[k] = ⌊2⁶²/k⌋ for the Horner divisions (index 0 unused).
+var q62Recip = func() [ctExpDegree + 1]uint64 {
+	var r [ctExpDegree + 1]uint64
+	for k := 1; k <= ctExpDegree; k++ {
+		r[k] = q62One / uint64(k)
+	}
+	return r
+}()
+
+// mulQ62 returns the Q62 product a·b/2⁶² via a 128-bit widening multiply.
+func mulQ62(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi<<2 | lo>>62
+}
+
+// ctExpThreshold returns ⌊2⁶³·exp(−t)⌋ for t ≥ 0 without secret-dependent
+// branches.  Negative inputs within float rounding error of zero are
+// clamped to zero (branch-free); the caller guarantees t is otherwise
+// non-negative and far below 2¹² (see the tail bound in plan.go), so the
+// float→integer conversions below are exact.
+func ctExpThreshold(t float64) uint64 {
+	// max(t, 0) = (t + |t|)/2 with |t| taken by clearing the sign bit —
+	// no comparison, no branch.
+	abs := math.Float64frombits(math.Float64bits(t) &^ (1 << 63))
+	t = (t + abs) / 2
+
+	y := t * invLn2
+	q := uint64(y)                         // = ⌊y⌋ for y ≥ 0
+	f := y - float64(q)                    // ∈ [0, 1)
+	x := mulQ62(uint64(f*(1<<62)), q62Ln2) // f·ln2 in Q62
+
+	a := q62One
+	for k := ctExpDegree; k >= 1; k-- {
+		a = q62One - mulQ62(mulQ62(x, a), q62Recip[k])
+	}
+	// 2^−f in Q63, scaled down by 2^−q.  Shifts ≥ 64 yield 0 by Go's
+	// shift semantics, closing the far-tail case without a branch.
+	return (a << 1) >> q
+}
+
+// ctLess returns 1 if a < b else 0, branch-free (the borrow bit of a−b).
+func ctLess(a, b uint64) uint64 {
+	return ((^a & b) | ((^a | b) & (a - b))) >> 63
+}
+
+// ctAbs64 returns |x| for x ≠ math.MinInt64, branch-free.
+func ctAbs64(x int64) int64 {
+	m := x >> 63
+	return (x ^ m) - m
+}
+
+// ctNonzero64 returns 1 if v ≠ 0 else 0, branch-free (v ≥ 0).
+func ctNonzero64(v int64) uint64 {
+	return uint64(v|-v) >> 63
+}

@@ -1,0 +1,62 @@
+package convolve
+
+// The combine/round path: turn one convolved proposal draw plus one coin
+// word into a candidate z with a branch-free accept bit.
+//
+// Construction (the convolution generalization of Falcon's SamplerZ,
+// mirroring internal/falcon/samplerz.go with the fixed σ₀ base swapped
+// for the plan's ladder proposal):
+//
+//	x  = Σᵢ cᵢ·xᵢ                     ~ D_{ℤ,σ_p} (plan proposal)
+//	v  = |x|                          folded magnitude
+//	b  = low coin bit, z = b + (2b−1)·v   (bimodal candidate)
+//	accept ⇔ rnd₆₃ < 2⁶³·exp(v²/(2σ_p²) − (z−r)²/(2σ²)) · (½ if v ≥ 1)
+//
+// where r = μ − ⌊μ⌋ ∈ [0,1).  |z−r| ≥ v and σ ≤ σ_p guarantee the
+// exponent is ≤ 0, so the acceptance probability is a genuine
+// probability and the accepted z + ⌊μ⌋ is exactly D_{ℤ,σ,μ}-distributed
+// (the (½ if v≥1) factor corrects the folded proposal masses p₀ = D(0),
+// p_v = 2D(v), exactly as in the rejection proof of samplerz.go).
+//
+// Constant-time discipline: everything below is straight-line integer
+// and floating-point arithmetic — no branches, no secret-indexed loads.
+// Each trial consumes exactly one coin word (bit 0 = branch selector,
+// bits 1..63 = the acceptance draw) and one sample per plan term, so
+// randomness consumption per trial is fixed per plan.  The only
+// data-dependent control flow in the whole subsystem is the caller's
+// use of the accept bit to keep or discard a lane — and rejected
+// candidates are independent of the value eventually emitted, the
+// standard rejection-sampling timing argument (the same one Falcon's
+// own SamplerZ relies on): timing reveals how many candidates were
+// discarded, which is determined by accept/reject coins whose
+// distribution depends only on the public (σ, μ) request.
+
+// evalLane evaluates one trial over the already-combined proposal draw x
+// (the plan's Σ cᵢ·xᵢ, accumulated with fixed-trip-count arithmetic in
+// the shard draw loop).  coin is one 64-bit random word, r = μ − ⌊μ⌋.
+// It returns the candidate z and accept ∈ {0, 1}.
+func evalLane(p *plan, r float64, x int64, coin uint64) (z int64, accept uint64) {
+	v := ctAbs64(x)
+	b := int64(coin & 1)
+	z = b + (2*b-1)*v
+
+	zf := float64(z) - r
+	t := zf*zf*p.invTwoSigmaSq - float64(v*v)*p.invTwoSigmaPSq
+	thr := ctExpThreshold(t) >> ctNonzero64(v) // ½ correction for folded masses
+	accept = ctLess(coin>>1, thr)
+	return z, accept
+}
+
+// evalLanes runs evalLane over n lanes, writing candidates to zs and
+// packing the accept bits into the returned mask (lane i → bit i,
+// n ≤ 64).  The loop trip count and every instruction inside are
+// independent of the sampled values.
+func evalLanes(p *plan, r float64, xs []int64, coins []uint64, zs []int64, n int) uint64 {
+	var mask uint64
+	for i := 0; i < n; i++ {
+		z, acc := evalLane(p, r, xs[i], coins[i])
+		zs[i] = z
+		mask |= acc << uint(i)
+	}
+	return mask
+}

@@ -148,6 +148,168 @@ func CompareTiming(classA, classB func(), opt Options) Result {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Statistical acceptance harness: chi-square goodness of fit plus Rényi
+// divergence of the empirical distribution against an ideal one.  The
+// constant-time checks above ask "does execution leak the sample?"; this
+// harness asks the complementary question the convolution layer needs:
+// "are the emitted samples actually distributed as claimed?" — the
+// acceptance gate for outputs synthesized for (σ, μ) pairs that no
+// compiled circuit was ever built for.
+
+// ChiSquare returns Pearson's statistic and degrees of freedom for
+// observed bin counts against expected probabilities (len(obs) ==
+// len(probs), probs summing to ≈ 1).  Bins with zero expectation must
+// have zero observations (else the statistic is +Inf, which is the
+// correct verdict).
+func ChiSquare(obs []uint64, probs []float64) (stat float64, df int) {
+	if len(obs) != len(probs) {
+		panic("ctcheck: ChiSquare length mismatch")
+	}
+	var n float64
+	for _, o := range obs {
+		n += float64(o)
+	}
+	for i, o := range obs {
+		e := n * probs[i]
+		d := float64(o) - e
+		if e == 0 {
+			if o != 0 {
+				return math.Inf(1), len(obs) - 1
+			}
+			continue
+		}
+		stat += d * d / e
+	}
+	return stat, len(obs) - 1
+}
+
+// ChiSquarePValue returns the upper-tail probability P(χ²_df > stat)
+// via the Wilson–Hilferty cube-root normal approximation — accurate to
+// a few 10⁻³ for df ≥ 3, ample for an accept/reject gate.
+func ChiSquarePValue(stat float64, df int) float64 {
+	if df <= 0 {
+		return 1
+	}
+	if math.IsInf(stat, 1) {
+		return 0
+	}
+	k := float64(df)
+	z := (math.Cbrt(stat/k) - (1 - 2/(9*k))) / math.Sqrt(2/(9*k))
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// Renyi returns the order-a Rényi divergence (the convention of
+// Micciancio–Walter and the gaussian package: R_a = (Σ qᵃ/pᵃ⁻¹)^{1/(a−1)})
+// of the empirical distribution q given by obs against the ideal p.
+// R_a = 1 means identical; the divergence of a sound sampler tends to 1
+// as the sample count grows.
+func Renyi(obs []uint64, probs []float64, a float64) float64 {
+	if a <= 1 {
+		panic("ctcheck: Rényi order must exceed 1")
+	}
+	if len(obs) != len(probs) {
+		panic("ctcheck: Renyi length mismatch")
+	}
+	var n float64
+	for _, o := range obs {
+		n += float64(o)
+	}
+	var sum float64
+	for i, o := range obs {
+		if o == 0 {
+			continue
+		}
+		if probs[i] == 0 {
+			return math.Inf(1)
+		}
+		q := float64(o) / n
+		sum += math.Pow(q, a) / math.Pow(probs[i], a-1)
+	}
+	return math.Pow(sum, 1/(a-1))
+}
+
+// GOF is one goodness-of-fit verdict against an ideal discrete Gaussian.
+type GOF struct {
+	Stat   float64 // Pearson chi-square over merged bins
+	DF     int     // degrees of freedom (bins − 1)
+	PValue float64 // upper-tail probability under H0
+	Renyi2 float64 // order-2 Rényi divergence, empirical vs ideal
+	Bins   int     // bins after tail merging
+	N      int     // sample count
+}
+
+// Pass reports whether the fit survives at significance alpha and the
+// order-2 Rényi divergence stays within maxRenyi of 1.
+func (g GOF) Pass(alpha, maxRenyi float64) bool {
+	return g.PValue >= alpha && g.Renyi2 <= maxRenyi
+}
+
+func (g GOF) String() string {
+	return fmt.Sprintf("χ²=%.1f (df=%d, p=%.4f), R₂=%.6f, %d bins over %d samples",
+		g.Stat, g.DF, g.PValue, g.Renyi2, g.Bins, g.N)
+}
+
+// ChiSquareGaussian tests integer samples against the ideal discrete
+// Gaussian D_{ℤ,σ,μ}: it bins over [μ−12σ, μ+12σ] (ideal mass beyond is
+// ≈ e⁻⁷²; any sample outside fails the fit), merges tail bins inward
+// until every expected count reaches the customary minimum of 5, and
+// returns the chi-square verdict plus the order-2 Rényi divergence over
+// the merged bins.
+func ChiSquareGaussian(samples []int, sigma, mu float64) GOF {
+	lo := int(math.Floor(mu - 12*sigma))
+	hi := int(math.Ceil(mu + 12*sigma))
+	probs := make([]float64, hi-lo+1)
+	var z float64
+	for v := lo; v <= hi; v++ {
+		d := float64(v) - mu
+		probs[v-lo] = math.Exp(-d * d / (2 * sigma * sigma))
+		z += probs[v-lo]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	obs := make([]uint64, len(probs))
+	outliers := 0
+	for _, s := range samples {
+		if s < lo || s > hi {
+			outliers++
+			continue
+		}
+		obs[s-lo]++
+	}
+	obs, probs = mergeTails(obs, probs, float64(len(samples)))
+	stat, df := ChiSquare(obs, probs)
+	if outliers > 0 {
+		stat = math.Inf(1) // mass where the ideal has ≈ none
+	}
+	return GOF{
+		Stat:   stat,
+		DF:     df,
+		PValue: ChiSquarePValue(stat, df),
+		Renyi2: Renyi(obs, probs, 2),
+		Bins:   len(obs),
+		N:      len(samples),
+	}
+}
+
+// mergeTails folds leading and trailing bins inward until every bin's
+// expected count n·p reaches 5 (the standard chi-square validity rule).
+func mergeTails(obs []uint64, probs []float64, n float64) ([]uint64, []float64) {
+	lo, hi := 0, len(obs)-1
+	for lo < hi && n*probs[lo] < 5 {
+		obs[lo+1] += obs[lo]
+		probs[lo+1] += probs[lo]
+		lo++
+	}
+	for hi > lo && n*probs[hi] < 5 {
+		obs[hi-1] += obs[hi]
+		probs[hi-1] += probs[hi]
+		hi--
+	}
+	return obs[lo : hi+1], probs[lo : hi+1]
+}
+
 // WorkTrace is the deterministic alternative: a per-invocation work count
 // (loop iterations, bits consumed, table scans).  A constant-time
 // algorithm has identical counts for every invocation; a leaky one shows

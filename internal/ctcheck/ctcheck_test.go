@@ -182,3 +182,79 @@ func TestResultString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestChiSquarePerfectFit(t *testing.T) {
+	// Observations exactly proportional to the expectation: statistic 0,
+	// p-value 1.
+	obs := []uint64{100, 300, 400, 200}
+	probs := []float64{0.1, 0.3, 0.4, 0.2}
+	stat, df := ChiSquare(obs, probs)
+	if stat != 0 || df != 3 {
+		t.Fatalf("stat=%v df=%d, want 0 and 3", stat, df)
+	}
+	if p := ChiSquarePValue(stat, df); p < 0.99 {
+		t.Fatalf("p-value %v for a perfect fit", p)
+	}
+	if r := Renyi(obs, probs, 2); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Rényi-2 = %v for a perfect fit, want 1", r)
+	}
+}
+
+func TestChiSquarePValueCalibration(t *testing.T) {
+	// Wilson–Hilferty sanity: the median of χ²_k is ≈ k(1−2/(9k))³, so
+	// the p-value there must be ≈ 0.5; far tails must collapse.
+	for _, df := range []int{5, 30, 200} {
+		k := float64(df)
+		median := k * math.Pow(1-2/(9*k), 3)
+		if p := ChiSquarePValue(median, df); math.Abs(p-0.5) > 0.01 {
+			t.Fatalf("df=%d: p(median)=%v, want ≈ 0.5", df, p)
+		}
+		if p := ChiSquarePValue(10*k, df); p > 1e-6 {
+			t.Fatalf("df=%d: p(10k)=%v, want ≈ 0", df, p)
+		}
+	}
+	if ChiSquarePValue(math.Inf(1), 4) != 0 {
+		t.Fatal("infinite statistic must give p = 0")
+	}
+}
+
+// TestGaussianHarnessAcceptsTrueRejectsWrong drives the full harness
+// with synthetic Box–Muller-ish draws: samples rounded from the matching
+// normal pass; the same samples tested against a 20%-off σ fail.
+func TestGaussianHarnessAcceptsTrueRejectsWrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 60000
+	sigma, mu := 4.2, 0.375
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = int(math.Round(rng.NormFloat64()*sigma + mu))
+	}
+	// Rounding a continuous normal to ℤ is within ~1/(24σ²) of the
+	// discrete Gaussian — far below chi-square power at this n.
+	good := ChiSquareGaussian(samples, sigma, mu)
+	if !good.Pass(0.001, 1.01) {
+		t.Fatalf("true distribution rejected: %s", good)
+	}
+	bad := ChiSquareGaussian(samples, sigma*1.2, mu)
+	if bad.Pass(0.001, 1.01) {
+		t.Fatalf("20%%-off σ accepted: %s", bad)
+	}
+	shifted := ChiSquareGaussian(samples, sigma, mu+1)
+	if shifted.Pass(0.001, 1.01) {
+		t.Fatalf("unit-shifted center accepted: %s", shifted)
+	}
+	// An outlier far outside the 12σ window is an immediate fail.
+	withOutlier := append(append([]int(nil), samples...), int(100*sigma))
+	if g := ChiSquareGaussian(withOutlier, sigma, mu); g.Pass(0.001, 1.01) || !math.IsInf(g.Stat, 1) {
+		t.Fatalf("far outlier not flagged: %s", g)
+	}
+}
+
+func TestMergeTailsRespectsMinimumExpectation(t *testing.T) {
+	g := ChiSquareGaussian([]int{0, 1, -1, 0, 2, -2, 0, 1, -1, 0}, 1.5, 0)
+	// 10 samples: every surviving bin must expect ≥ 5... which forces
+	// nearly everything to merge; the harness must stay well-defined.
+	if g.Bins < 1 || g.DF < 0 {
+		t.Fatalf("degenerate merge: %+v", g)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ctgauss/internal/convolve"
 	"ctgauss/internal/core"
 	"ctgauss/internal/prng"
 	"ctgauss/internal/sampler"
@@ -59,15 +60,22 @@ func Keygen(n int, seed []byte) (*PrivateKey, error) {
 	return GenerateKey(params, built.NewSampler(src))
 }
 
-// BaseSamplerKind selects the Table-1 base sampler variant.
+// BaseSamplerKind selects the Table-1 base sampler variant, or the
+// convolution-layer SamplerZ routing.
 type BaseSamplerKind int
 
-// The four base samplers of Table 1.
+// The four base samplers of Table 1, plus the convolution routing.
 const (
 	BaseBitsliced   BaseSamplerKind = iota // this work (constant-time)
 	BaseCDT                                // binary-search CDT [26]
 	BaseByteScanCDT                        // byte-scanning CDT [13]
 	BaseLinearCDT                          // linear-search constant-time CDT [7]
+	// BaseConvolve routes SamplerZ through the arbitrary-(σ, μ)
+	// convolution layer (internal/convolve): every ffSampling leaf is
+	// served by the compiled base set with constant-time randomized
+	// rounding instead of the float-rejection loop — the serve-anything
+	// flag of the signing stack.
+	BaseConvolve
 )
 
 func (k BaseSamplerKind) String() string {
@@ -80,6 +88,8 @@ func (k BaseSamplerKind) String() string {
 		return "byte-scanning CDT"
 	case BaseLinearCDT:
 		return "linear-search CDT"
+	case BaseConvolve:
+		return "convolution layer"
 	}
 	return "?"
 }
@@ -112,12 +122,10 @@ func NewBaseSampler(kind BaseSamplerKind, seed []byte) (sampler.Sampler, error) 
 	}
 }
 
-// NewSignerWithKind wires a signer with the chosen Table-1 base sampler.
+// NewSignerWithKind wires a signer with the chosen Table-1 base sampler,
+// or — for BaseConvolve — with SamplerZ routed through the convolution
+// layer over the σ=2 base circuit.
 func NewSignerWithKind(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Signer, error) {
-	base, err := NewBaseSampler(kind, seed)
-	if err != nil {
-		return nil, err
-	}
 	saltSeed := append([]byte("salt:"), seed...)
 	if len(saltSeed) > 32 {
 		// ChaCha20 seeds are capped at 32 bytes; longer derived seeds
@@ -128,6 +136,25 @@ func NewSignerWithKind(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Sign
 		saltSeed = sum[:]
 	}
 	src, err := prng.NewChaCha20(saltSeed)
+	if err != nil {
+		return nil, err
+	}
+	if kind == BaseConvolve {
+		// ffSampling leaf σ' never exceeds SigmaMax < 2, so the σ=2
+		// circuit alone is the whole base set (every plan is the
+		// single-draw leaf); one shard, because a Signer is
+		// single-threaded and SignerPool builds one sampler per shard.
+		conv, err := convolve.New(convolve.Config{
+			Bases:  []string{"2"},
+			Shards: 1,
+			Seed:   seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newSignerWithZ(sk, &convolveZ{conv: conv}, prng.NewBitReader(src))
+	}
+	base, err := NewBaseSampler(kind, seed)
 	if err != nil {
 		return nil, err
 	}

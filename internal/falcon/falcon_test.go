@@ -118,6 +118,67 @@ func TestSignVerifyAllBaseSamplers(t *testing.T) {
 	}
 }
 
+// TestSignVerifyConvolveKind routes SamplerZ through the convolution
+// layer: signatures must verify, the acceptance ledger must live on the
+// layer (no rejection-base sampler exists), and the leaf requests must
+// all have been served by single-draw plans of the σ=2 base.
+func TestSignVerifyConvolveKind(t *testing.T) {
+	sk := testKey(t, 256)
+	pk := sk.Public()
+	signer, err := NewSignerWithKind(sk, BaseConvolve, []byte("convolve-signer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("serve-anything signing")
+	for i := 0; i < 4; i++ {
+		sig, err := signer.Sign(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pk.Verify(msg, sig); err != nil {
+			t.Fatalf("convolve-backed signature rejected: %v", err)
+		}
+	}
+	if signer.BaseSampler() != nil {
+		t.Fatal("convolve-backed signer should not expose a rejection base sampler")
+	}
+	if signer.SampleStats() == "no samples" {
+		t.Fatal("acceptance ledger did not accumulate")
+	}
+	zs := signer.zs.(*convolveZ)
+	st := zs.conv.Stats()
+	if st.Trials == 0 || st.Accepted == 0 {
+		t.Fatalf("convolution layer saw no trials: %+v", st)
+	}
+	for _, sigma := range []float64{sk.Params.SigmaMin, SigmaMax} {
+		plan, err := zs.conv.Plan(sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Draws() != 1 || plan.SigmaP != 2 {
+			t.Fatalf("leaf σ'=%g should be served by the σ=2 base alone, got %+v", sigma, plan)
+		}
+	}
+}
+
+// TestSignerPoolConvolveKind: the sharded signing pool must accept the
+// convolution routing too (ctgaussd -falcon-kind convolve).
+func TestSignerPoolConvolveKind(t *testing.T) {
+	sk := testKey(t, 256)
+	pool, err := NewSignerPool(sk, BaseConvolve, []byte("convolve-pool"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("pooled convolve signing")
+	sig, err := pool.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestVerifyRejectsTamperedMessage(t *testing.T) {
 	sk := testKey(t, 256)
 	signer, _ := NewSignerWithKind(sk, BaseBitsliced, []byte("t"))

@@ -1,11 +1,24 @@
 package falcon
 
 import (
+	"fmt"
 	"math"
 
+	"ctgauss/internal/convolve"
 	"ctgauss/internal/prng"
 	"ctgauss/internal/sampler"
 )
+
+// zSampler abstracts the (μ, σ') integer Gaussian sampler behind
+// ffSampling — Falcon's SamplerZ.  Two backends exist: the paper's
+// rejection construction over a fixed σ₀ base (samplerZState) and the
+// convolution layer (convolveZ), selected by the BaseConvolve flag.
+type zSampler interface {
+	// sample returns z ~ D_{ℤ, mu, sigmaP}.
+	sample(mu, sigmaP float64) float64
+	// acceptStats reports (accepted, rejected) proposal counts.
+	acceptStats() (accepted, rejected uint64)
+}
 
 // samplerZState samples z ~ D_{Z, μ, σ'} for the varying centers and
 // standard deviations ffSampling requests, by rejection from the paper's
@@ -71,4 +84,32 @@ func (s *samplerZState) acceptBer(p float64) bool {
 	threshold := uint64(p * (1 << 53))
 	draw := s.bits.Uint64() >> 11
 	return draw < threshold
+}
+
+// acceptStats implements zSampler.
+func (s *samplerZState) acceptStats() (uint64, uint64) { return s.Accepted, s.Rejections }
+
+// convolveZ routes SamplerZ through the arbitrary-(σ, μ) convolution
+// layer: every ffSampling leaf request (σ', center) is served by the
+// compiled base set with constant-time randomized rounding, instead of
+// the float-rejection loop above.  Leaf σ' values lie in
+// [SigmaMin, SigmaMax] ⊂ the layer's admissible range, so requests
+// cannot fail; any error is a programming error and panics.
+type convolveZ struct {
+	conv *convolve.Sampler
+}
+
+// sample implements zSampler.
+func (c *convolveZ) sample(mu, sigmaP float64) float64 {
+	z, err := c.conv.Next(sigmaP, mu)
+	if err != nil {
+		panic(fmt.Sprintf("falcon: convolve SamplerZ rejected (σ'=%g, μ=%g): %v", sigmaP, mu, err))
+	}
+	return float64(z)
+}
+
+// acceptStats implements zSampler.
+func (c *convolveZ) acceptStats() (uint64, uint64) {
+	st := c.conv.Stats()
+	return st.Accepted, st.Trials - st.Accepted
 }

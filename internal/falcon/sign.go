@@ -17,11 +17,12 @@ type Signature struct {
 	S1   []int16
 }
 
-// Signer holds per-instance signing state: the key, the base Gaussian
-// sampler under test, and a PRNG for salts and rejection bits.
+// Signer holds per-instance signing state: the key, the SamplerZ
+// backend (a rejection sampler over a fixed base, or the convolution
+// layer), and a PRNG for salts.
 type Signer struct {
 	sk   *PrivateKey
-	zs   *samplerZState
+	zs   zSampler
 	salt *prng.BitReader
 	// Attempts counts norm-rejection restarts (diagnostics).
 	Attempts uint64
@@ -31,21 +32,29 @@ type Signer struct {
 // (σ must be SigmaBase = 2); src supplies salts and the SamplerZ rejection
 // randomness.
 func NewSigner(sk *PrivateKey, base sampler.Sampler, src prng.Source) (*Signer, error) {
+	bits := prng.NewBitReader(src)
+	return newSignerWithZ(sk, newSamplerZ(base, bits, sk.Params.SigmaMin), bits)
+}
+
+// newSignerWithZ wires a signer over an explicit SamplerZ backend.
+func newSignerWithZ(sk *PrivateKey, zs zSampler, salt *prng.BitReader) (*Signer, error) {
 	if !sk.ready {
 		if err := sk.precompute(); err != nil {
 			return nil, err
 		}
 	}
-	bits := prng.NewBitReader(src)
-	return &Signer{
-		sk:   sk,
-		zs:   newSamplerZ(base, bits, sk.Params.SigmaMin),
-		salt: bits,
-	}, nil
+	return &Signer{sk: sk, zs: zs, salt: salt}, nil
 }
 
-// BaseSampler exposes the base sampler (for bit-count statistics).
-func (s *Signer) BaseSampler() sampler.Sampler { return s.zs.base }
+// BaseSampler exposes the base sampler (for bit-count statistics) of a
+// rejection-backed signer; convolve-backed signers return nil (their
+// bit ledger lives on the convolution layer).
+func (s *Signer) BaseSampler() sampler.Sampler {
+	if zs, ok := s.zs.(*samplerZState); ok {
+		return zs.base
+	}
+	return nil
+}
 
 // ErrSignFailed is returned when no short-enough signature was found in
 // the attempt budget.
@@ -115,10 +124,11 @@ func roundVec(v []float64) ([]int16, bool) {
 
 // SampleStats reports SamplerZ acceptance statistics.
 func (s *Signer) SampleStats() string {
-	total := s.zs.Accepted + s.zs.Rejections
+	accepted, rejected := s.zs.acceptStats()
+	total := accepted + rejected
 	if total == 0 {
 		return "no samples"
 	}
 	return fmt.Sprintf("accept rate %.1f%% (%d of %d)",
-		100*float64(s.zs.Accepted)/float64(total), s.zs.Accepted, total)
+		100*float64(accepted)/float64(total), accepted, total)
 }

@@ -90,7 +90,7 @@ func (t *treeNode) leafSigmas(out []float64) []float64 {
 // ffSampling draws (z0, z1) ≈ (t0, t1) jointly Gaussian over the lattice
 // described by the tree: Falcon's fast Fourier nearest-plane analogue.
 // t0, t1 and the returned vectors are in the Fourier domain.
-func ffSampling(t0, t1 []complex128, node *treeNode, zs *samplerZState) (z0, z1 []complex128) {
+func ffSampling(t0, t1 []complex128, node *treeNode, zs zSampler) (z0, z1 []complex128) {
 	n := len(t0)
 	if n == 1 {
 		zv1 := zs.sample(real(t1[0]), node.right.leafSigma)

@@ -230,3 +230,164 @@ func TestSharedRegistryIsSingleton(t *testing.T) {
 		t.Fatal("Shared returned different registries")
 	}
 }
+
+var testSetCfgs = []core.Config{
+	{Sigma: "2", N: 48, TailCut: 13, Min: core.MinimizeExact},
+	{Sigma: "3", N: 48, TailCut: 13, Min: core.MinimizeExact},
+}
+
+// TestGetSetSeedsMembers: resolving a set must make later member-wise
+// Gets memory hits — the pool layers resolve per σ, and the convolution
+// layer must not cause duplicate builds alongside them.
+func TestGetSetSeedsMembers(t *testing.T) {
+	r := New("")
+	set, err := r.GetSet(testSetCfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Members) != 2 || set.FromDisk {
+		t.Fatalf("set = %+v, want 2 freshly built members", set)
+	}
+	if st := r.Stats(); st.Builds != 2 {
+		t.Fatalf("stats = %+v, want one build per member", st)
+	}
+	for i, cfg := range testSetCfgs {
+		a, err := r.Get(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != set.Members[i] {
+			t.Fatalf("member %d: Get returned a different artifact than the set", i)
+		}
+	}
+	if st := r.Stats(); st.Builds != 2 || st.MemHits != 2 {
+		t.Fatalf("stats = %+v, want member Gets to be memory hits", st)
+	}
+	// The same set again is one memoized entry.
+	set2, err := r.GetSet(testSetCfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2 != set {
+		t.Fatal("second GetSet returned a different set artifact")
+	}
+}
+
+// TestGetSetDiskRoundTrip: a second process over the same cache dir must
+// load the whole set from its single cache file — zero builds — and the
+// members must be bit-identical.
+func TestGetSetDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r1 := New(dir)
+	set1, err := r1.GetSet(testSetCfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := filepath.Glob(filepath.Join(dir, "ctgauss-set-*.json"))
+	if err != nil || len(sets) != 1 {
+		t.Fatalf("set cache files: %v, %v — want exactly one entry for the whole set", sets, err)
+	}
+
+	r2 := New(dir)
+	set2, err := r2.GetSet(testSetCfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set2.FromDisk {
+		t.Fatal("second process did not load the set from disk")
+	}
+	if st := r2.Stats(); st.Builds != 0 {
+		t.Fatalf("stats = %+v, want zero builds on a set disk hit", st)
+	}
+	for i := range set1.Members {
+		want := drain(t, set1.Members[i], 128)
+		got := drain(t, set2.Members[i], 128)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("member %d sample %d: disk-loaded %d, built %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	// Member-wise Gets after a set disk hit are memory hits too.
+	if _, err := r2.Get(testSetCfgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Stats(); st.Builds != 0 || st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want a seeded memory hit", st)
+	}
+}
+
+// TestGetSetCorruptFallsBack: a damaged set file degrades to member-wise
+// resolution (which may itself hit member files), never to an error.
+func TestGetSetCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	r1 := New(dir)
+	if _, err := r1.GetSet(testSetCfgs); err != nil {
+		t.Fatal(err)
+	}
+	sets, _ := filepath.Glob(filepath.Join(dir, "ctgauss-set-*.json"))
+	if len(sets) != 1 {
+		t.Fatalf("want one set file, got %v", sets)
+	}
+	if err := os.WriteFile(sets[0], []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(dir)
+	set, err := r2.GetSet(testSetCfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.FromDisk {
+		t.Fatal("corrupt set file reported as a disk hit")
+	}
+	// Members still resolve from their per-member cache files.
+	if st := r2.Stats(); st.Builds != 0 || st.DiskHits != 2 {
+		t.Fatalf("stats = %+v, want member-wise disk hits", st)
+	}
+}
+
+func TestGetSetSingleflight(t *testing.T) {
+	r := New("")
+	const goroutines = 16
+	sets := make([]*SetArtifact, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s, err := r.GetSet(testSetCfgs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sets[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if sets[i] != sets[0] {
+			t.Fatal("goroutines observed different set artifacts")
+		}
+	}
+	if st := r.Stats(); st.Builds != 2 {
+		t.Fatalf("stats = %+v, want one build per member under contention", st)
+	}
+}
+
+func TestGetSetEmptyAndBadMember(t *testing.T) {
+	r := New("")
+	if _, err := r.GetSet(nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+	bad := []core.Config{{Sigma: "nope", N: 48, TailCut: 13}}
+	if _, err := r.GetSet(bad); err == nil {
+		t.Fatal("bad member must error")
+	}
+	// Failure must not poison the set key.
+	if _, err := r.GetSet(bad); err == nil {
+		t.Fatal("expected error on retry")
+	}
+	if _, err := r.GetSet(testSetCfgs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ctgauss"
+)
+
+// arbco fronts the arbitrary-(σ, μ) sampler for the HTTP layer.  Unlike
+// the per-σ coalescer — which exists because a Pool's native granularity
+// is a fixed 64-sample batch — the convolution layer compacts accepted
+// candidates, so every request is served exactly with no leftover to
+// cursor.  Coalescing is therefore keyed by base set rather than per σ:
+// all arbitrary requests, whatever their (σ, μ), share the one compiled
+// base set, whose sharded wide samplers batch refills 512 lanes at a
+// time across concurrent requests.  This wrapper adds the serving
+// ledger: request/sample counters and the set of distinct σ values
+// served (bounded; the overflow flag keeps the gauge honest).
+type arbco struct {
+	arb *ctgauss.Arbitrary
+
+	samples atomic.Uint64
+
+	mu            sync.Mutex
+	sigmas        map[float64]struct{}
+	sigmaOverflow bool
+}
+
+// arbSigmaTrackLimit bounds the distinct-σ set (an adversarial client
+// must not grow server memory without bound).
+const arbSigmaTrackLimit = 4096
+
+func newArbco(arb *ctgauss.Arbitrary) *arbco {
+	return &arbco{arb: arb, sigmas: make(map[float64]struct{})}
+}
+
+func (a *arbco) draw(sigma, mu float64, out []int) error {
+	if err := a.arb.NextBatch(sigma, mu, out); err != nil {
+		return err
+	}
+	a.samples.Add(uint64(len(out)))
+	a.mu.Lock()
+	if _, ok := a.sigmas[sigma]; !ok {
+		if len(a.sigmas) < arbSigmaTrackLimit {
+			a.sigmas[sigma] = struct{}{}
+		} else {
+			a.sigmaOverflow = true
+		}
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// arbStats joins the serving ledger with the sampler's own counters for
+// the /metrics scrape.
+type arbStats struct {
+	samples          uint64
+	distinctSigmas   int
+	sigmaOverflow    bool
+	trials, accepted uint64
+	plans            uint64
+	shards           int
+}
+
+func (a *arbco) stats() arbStats {
+	a.mu.Lock()
+	distinct := len(a.sigmas)
+	overflow := a.sigmaOverflow
+	a.mu.Unlock()
+	st := a.arb.Stats()
+	return arbStats{
+		samples:        a.samples.Load(),
+		distinctSigmas: distinct,
+		sigmaOverflow:  overflow,
+		trials:         st.Trials,
+		accepted:       st.Accepted,
+		plans:          st.Plans,
+		shards:         st.Shards,
+	}
+}
+
+// arbitraryRequest is the /v1/arbitrary request schema.
+type arbitraryRequest struct {
+	// Count is the number of samples wanted (1 ≤ Count ≤ MaxCount).
+	Count int `json:"count"`
+	// Sigma is the free-form standard deviation (required, within the
+	// served bounds — see /healthz).
+	Sigma float64 `json:"sigma"`
+	// Mu is the center (optional, default 0).
+	Mu float64 `json:"mu,omitempty"`
+}
+
+// arbitraryResponse is the /v1/arbitrary response schema.
+type arbitraryResponse struct {
+	Sigma   float64 `json:"sigma"`
+	Mu      float64 `json:"mu"`
+	Count   int     `json:"count"`
+	Samples []int   `json:"samples"`
+}
+
+func (s *Server) handleArbitrary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req arbitraryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Count < 1 {
+		writeError(w, http.StatusBadRequest, "count must be >= 1")
+		return
+	}
+	if req.Count > s.cfg.MaxCount {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("count %d exceeds limit %d", req.Count, s.cfg.MaxCount))
+		return
+	}
+	out := make([]int, req.Count)
+	if err := s.arb.draw(req.Sigma, req.Mu, out); err != nil {
+		// The only draw failures are request-validation ones (σ outside
+		// bounds, non-finite μ).
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.m.samples.Add(uint64(req.Count))
+	writeJSON(w, http.StatusOK, arbitraryResponse{Sigma: req.Sigma, Mu: req.Mu, Count: req.Count, Samples: out})
+}
+
+// serveFreeformSigma handles a /v1/samples request whose σ names no
+// precompiled pool: with the arbitrary layer enabled, any parseable σ in
+// bounds is served by the convolution layer at μ = 0, so the endpoint's
+// σ menu is the continuous admissible range rather than the -sigmas
+// list.  Responses keep the request's σ spelling.
+func (s *Server) serveFreeformSigma(w http.ResponseWriter, req samplesRequest) {
+	sigma, err := strconv.ParseFloat(req.Sigma, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown sigma %q (precompiled: %v; free-form σ must be a decimal)", req.Sigma, s.cfg.Sigmas))
+		return
+	}
+	out := make([]int, req.Count)
+	if err := s.arb.draw(sigma, 0, out); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.m.samples.Add(uint64(req.Count))
+	writeJSON(w, http.StatusOK, samplesResponse{Sigma: req.Sigma, Count: req.Count, Samples: out})
+}

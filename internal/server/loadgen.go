@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -16,9 +17,10 @@ import (
 type LoadConfig struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8754".
 	BaseURL string
-	// Mode is "samples", "sign", "verify", or "mix" (round-robin over the
-	// enabled endpoints per request index; against a Falcon-disabled
-	// daemon, mix degrades to samples-only and sign/verify error out).
+	// Mode is "samples", "arbitrary", "sign", "verify", or "mix"
+	// (round-robin over the enabled endpoints per request index; against
+	// a daemon with Falcon or the arbitrary layer disabled, mix degrades
+	// to the enabled set and the dedicated modes error out).
 	Mode string
 	// Clients is the number of concurrent request loops (default 8).
 	Clients int
@@ -27,8 +29,11 @@ type LoadConfig struct {
 	// Count is the per-request sample count for samples-mode requests
 	// (default 64).
 	Count int
-	// Sigma optionally overrides the server's default σ.
+	// Sigma optionally overrides the server's default σ.  In arbitrary
+	// mode it is the free-form σ (decimal; default "3.3").
 	Sigma string
+	// Mu is the center for arbitrary-mode requests (default 0).
+	Mu float64
 	// Message is the payload for sign/verify requests (default fixed).
 	Message []byte
 	// Timeout bounds each HTTP request (default 30s).
@@ -57,6 +62,7 @@ type LoadReport struct {
 	Errors            int            `json:"errors"`
 	Rejected          int            `json:"rejected_429"`
 	Samples           int            `json:"samples"`
+	ArbitrarySamples  int            `json:"arbitrary_samples"`
 	Signatures        int            `json:"signatures"`
 	Verifies          int            `json:"verifies"`
 	DurationSeconds   float64        `json:"duration_seconds"`
@@ -69,6 +75,7 @@ type LoadReport struct {
 type loadWorker struct {
 	requests, errors, rejected    int
 	samples, signatures, verifies int
+	arbitrary                     int
 	latencies                     []time.Duration
 }
 
@@ -101,7 +108,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	client := &http.Client{Timeout: cfg.Timeout}
 
-	falconOn, err := falconEnabled(client, cfg.BaseURL)
+	falconOn, arbitraryOn, err := probeFeatures(client, cfg.BaseURL)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: probing %s/healthz: %w", cfg.BaseURL, err)
 	}
@@ -109,6 +116,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	switch cfg.Mode {
 	case "samples":
 		endpoints = []string{"samples"}
+	case "arbitrary":
+		if !arbitraryOn {
+			return nil, fmt.Errorf("loadgen: mode %q needs /v1/arbitrary, but the daemon runs with the arbitrary layer disabled", cfg.Mode)
+		}
+		endpoints = []string{"arbitrary"}
 	case "sign", "verify":
 		if !falconOn {
 			return nil, fmt.Errorf("loadgen: mode %q needs the Falcon endpoints, but the daemon runs sampling-only", cfg.Mode)
@@ -116,11 +128,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		endpoints = []string{cfg.Mode}
 	case "mix":
 		endpoints = []string{"samples"}
+		if arbitraryOn {
+			endpoints = append(endpoints, "arbitrary")
+		}
 		if falconOn {
 			endpoints = append(endpoints, "sign", "verify")
 		}
 	default:
-		return nil, fmt.Errorf("loadgen: unknown mode %q (want samples, sign, verify or mix)", cfg.Mode)
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want samples, arbitrary, sign, verify or mix)", cfg.Mode)
 	}
 
 	// verify requests need a genuine signature: obtain one up front (not
@@ -173,6 +188,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		report.Errors += w.errors
 		report.Rejected += w.rejected
 		report.Samples += w.samples
+		report.ArbitrarySamples += w.arbitrary
 		report.Signatures += w.signatures
 		report.Verifies += w.verifies
 		lats = append(lats, w.latencies...)
@@ -199,21 +215,22 @@ func isRejection(err error) bool {
 	return ok && he.status == http.StatusTooManyRequests
 }
 
-// falconEnabled asks /healthz whether the daemon mounts the Falcon
-// endpoints.
-func falconEnabled(client *http.Client, baseURL string) (bool, error) {
+// probeFeatures asks /healthz which optional endpoint groups the daemon
+// mounts.
+func probeFeatures(client *http.Client, baseURL string) (falconOn, arbitraryOn bool, err error) {
 	resp, err := client.Get(baseURL + "/healthz")
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	defer resp.Body.Close()
 	var hr struct {
-		Falcon string `json:"falcon"`
+		Falcon    string `json:"falcon"`
+		Arbitrary bool   `json:"arbitrary"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
-		return false, err
+		return false, false, err
 	}
-	return hr.Falcon != "", nil
+	return hr.Falcon != "", hr.Arbitrary, nil
 }
 
 func postJSON(client *http.Client, url string, req, resp any) error {
@@ -266,6 +283,29 @@ func doRequest(client *http.Client, cfg LoadConfig, endpoint, sigB64 string, w *
 			return fmt.Errorf("got %d samples, want %d", len(resp.Samples), cfg.Count)
 		}
 		w.samples += len(resp.Samples)
+		return nil
+	case "arbitrary":
+		sigma := 3.3
+		if cfg.Sigma != "" {
+			var perr error
+			sigma, perr = strconv.ParseFloat(cfg.Sigma, 64)
+			if perr != nil {
+				return fmt.Errorf("arbitrary mode needs a decimal -sigma: %w", perr)
+			}
+		}
+		var resp arbitraryResponse
+		err := postJSON(client, cfg.BaseURL+"/v1/arbitrary",
+			arbitraryRequest{Count: cfg.Count, Sigma: sigma, Mu: cfg.Mu}, &resp)
+		if err != nil {
+			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
+				w.rejected++
+			}
+			return err
+		}
+		if len(resp.Samples) != cfg.Count {
+			return fmt.Errorf("got %d arbitrary samples, want %d", len(resp.Samples), cfg.Count)
+		}
+		w.arbitrary += len(resp.Samples)
 		return nil
 	case "sign":
 		var resp signResponse

@@ -108,8 +108,8 @@ type sigmaStats struct {
 }
 
 // writePrometheus renders the whole counter set in Prometheus text
-// exposition format.
-func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, draining bool) {
+// exposition format.  arb is nil when the arbitrary layer is disabled.
+func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStats, draining bool) {
 	fmt.Fprintln(w, "# HELP ctgaussd_requests_total Requests admitted per endpoint (past the drain gate and the admission queue; 429 rejections are counted separately).")
 	fmt.Fprintln(w, "# TYPE ctgaussd_requests_total counter")
 	for _, e := range m.endpoints {
@@ -185,6 +185,34 @@ func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, draining boo
 	fmt.Fprintln(w, "# TYPE ctgaussd_pool_shards gauge")
 	for _, s := range sigmas {
 		fmt.Fprintf(w, "ctgaussd_pool_shards{sigma=%q} %d\n", s.sigma, s.shards)
+	}
+
+	if arb != nil {
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_samples_total Samples served by the free-form (sigma, mu) convolution layer.")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_samples_total counter")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_samples_total %d\n", arb.samples)
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_trials_total Combine/round trials evaluated by the convolution layer.")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_trials_total counter")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_trials_total %d\n", arb.trials)
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_accepted_total Trials accepted by the randomized-rounding step.")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_accepted_total counter")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_accepted_total %d\n", arb.accepted)
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_sigmas Distinct sigma values served since startup (capped tracking; see _sigmas_overflow).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_sigmas gauge")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_sigmas %d\n", arb.distinctSigmas)
+		overflow := 0
+		if arb.sigmaOverflow {
+			overflow = 1
+		}
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_sigmas_overflow Whether distinct-sigma tracking hit its cap (the gauge is then a lower bound).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_sigmas_overflow gauge")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_sigmas_overflow %d\n", overflow)
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_plans Distinct convolution plans compiled (one per requested sigma).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_plans gauge")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_plans %d\n", arb.plans)
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_shards Shard count of the arbitrary sampler.")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_shards gauge")
+		fmt.Fprintf(w, "ctgaussd_arbitrary_shards %d\n", arb.shards)
 	}
 
 	fmt.Fprintln(w, "# HELP ctgaussd_draining Whether the server is draining (1) or accepting requests (0).")

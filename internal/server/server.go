@@ -48,14 +48,28 @@ type Config struct {
 	// (default 256); excess load is rejected with 429 instead of queueing
 	// without bound.
 	QueueDepth int
+
+	// DisableArbitrary turns off the free-form-(σ, μ) convolution layer:
+	// the /v1/arbitrary endpoint and the free-form σ fallback of
+	// /v1/samples.  By default the layer is on, so the daemon serves the
+	// whole admissible σ range from one compiled base set.
+	DisableArbitrary bool
+	// ArbitraryBases overrides the convolution base set (default
+	// {"2", "6.15543"}); the whole set is built — in parallel — as one
+	// registry artifact at startup.
+	ArbitraryBases []string
+	// ArbitraryShards is the arbitrary sampler's shard count (0 =
+	// NumCPU).
+	ArbitraryShards int
 }
 
 // Endpoint names used for metrics and admission queues.
 const (
-	epSamples = "samples"
-	epSign    = "falcon_sign"
-	epVerify  = "falcon_verify"
-	epKey     = "falcon_key"
+	epSamples   = "samples"
+	epArbitrary = "arbitrary"
+	epSign      = "falcon_sign"
+	epVerify    = "falcon_verify"
+	epKey       = "falcon_key"
 )
 
 // Server is the ctgaussd HTTP serving layer: the handler set plus the
@@ -65,6 +79,7 @@ type Server struct {
 	cfg          Config
 	defaultSigma string
 	co           map[string]*coalescer
+	arb          *arbco // nil when the arbitrary layer is disabled
 	signers      *falcon.SignerPool
 	pubEnc       string // base64 EncodePublic, fixed at startup
 	m            *metrics
@@ -102,6 +117,16 @@ func falconPoolSeed(master []byte) []byte {
 	return h.Sum(nil)
 }
 
+// ArbitrarySeed derives the arbitrary-sampler seed from the server's
+// master seed with domain separation.  Exported so clients (and tests)
+// can reconstruct a sampler stream-identical to the served one.
+func ArbitrarySeed(master []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("ctgauss/server/arbitrary"))
+	h.Write(master)
+	return h.Sum(nil)
+}
+
 // New builds every pool in cfg and returns a ready Server.
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Sigmas) == 0 {
@@ -120,7 +145,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:          cfg,
 		defaultSigma: cfg.Sigmas[0],
 		co:           make(map[string]*coalescer),
-		m:            newMetrics([]string{epSamples, epSign, epVerify, epKey}),
+		m:            newMetrics([]string{epSamples, epArbitrary, epSign, epVerify, epKey}),
 		queues:       make(map[string]chan struct{}),
 		start:        time.Now(),
 	}
@@ -137,6 +162,19 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: building σ=%s pool: %w", sigma, err)
 		}
 		s.co[sigma] = newCoalescer(sigma, pool)
+	}
+
+	if !cfg.DisableArbitrary {
+		arb, err := ctgauss.NewArbitrary(ctgauss.ArbitraryConfig{
+			BaseSigmas: cfg.ArbitraryBases,
+			Shards:     cfg.ArbitraryShards,
+			Seed:       ArbitrarySeed(cfg.Seed),
+			PRNG:       cfg.PRNG,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: building arbitrary base set: %w", err)
+		}
+		s.arb = newArbco(arb)
 	}
 
 	sk := cfg.FalconKey
@@ -166,6 +204,9 @@ func New(cfg Config) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/samples", s.endpoint(epSamples, s.handleSamples))
+	if s.arb != nil {
+		mux.Handle("/v1/arbitrary", s.endpoint(epArbitrary, s.handleArbitrary))
+	}
 	if s.signers != nil {
 		mux.Handle("/v1/falcon/sign", s.endpoint(epSign, s.handleSign))
 		mux.Handle("/v1/falcon/verify", s.endpoint(epVerify, s.handleVerify))
@@ -318,11 +359,6 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	if req.Sigma == "" {
 		req.Sigma = s.defaultSigma
 	}
-	co, ok := s.co[req.Sigma]
-	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown sigma %q (served: %v)", req.Sigma, s.cfg.Sigmas))
-		return
-	}
 	if req.Count < 1 {
 		writeError(w, http.StatusBadRequest, "count must be >= 1")
 		return
@@ -330,6 +366,18 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	if req.Count > s.cfg.MaxCount {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("count %d exceeds limit %d", req.Count, s.cfg.MaxCount))
+		return
+	}
+	co, ok := s.co[req.Sigma]
+	if !ok {
+		// σ without a precompiled pool: fall through to the convolution
+		// layer (free-form σ), or report the precompiled menu when the
+		// layer is off.
+		if s.arb != nil {
+			s.serveFreeformSigma(w, req)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown sigma %q (served: %v)", req.Sigma, s.cfg.Sigmas))
 		return
 	}
 	out := make([]int, req.Count)
@@ -467,8 +515,14 @@ type healthResponse struct {
 	Sigmas        []string `json:"sigmas"`
 	DefaultSigma  string   `json:"default_sigma"`
 	PoolShards    int      `json:"pool_shards"`
-	Falcon        string   `json:"falcon,omitempty"` // parameter-set name
-	FalconShards  int      `json:"falcon_shards,omitempty"`
+	// Arbitrary describes the free-form-(σ, μ) layer when enabled: its
+	// base set and the admissible σ range.
+	Arbitrary         bool     `json:"arbitrary"`
+	ArbitraryBases    []string `json:"arbitrary_bases,omitempty"`
+	ArbitrarySigmaMin float64  `json:"arbitrary_sigma_min,omitempty"`
+	ArbitrarySigmaMax float64  `json:"arbitrary_sigma_max,omitempty"`
+	Falcon            string   `json:"falcon,omitempty"` // parameter-set name
+	FalconShards      int      `json:"falcon_shards,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -482,6 +536,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Sigmas:        s.cfg.Sigmas,
 		DefaultSigma:  s.defaultSigma,
 		PoolShards:    s.co[s.defaultSigma].pool.Size(),
+	}
+	if s.arb != nil {
+		resp.Arbitrary = true
+		resp.ArbitraryBases = s.arb.arb.Stats().Bases
+		resp.ArbitrarySigmaMin, resp.ArbitrarySigmaMax = s.arb.arb.Bounds()
 	}
 	if s.signers != nil {
 		resp.Falcon = s.signers.Public().Params.Name
@@ -499,6 +558,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, co := range s.co {
 		sigmas = append(sigmas, co.sigmaStats())
 	}
+	var arb *arbStats
+	if s.arb != nil {
+		st := s.arb.stats()
+		arb = &st
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.writePrometheus(w, sigmas, s.isDraining())
+	s.m.writePrometheus(w, sigmas, arb, s.isDraining())
 }

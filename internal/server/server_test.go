@@ -16,6 +16,7 @@ import (
 
 	"ctgauss"
 	"ctgauss/falcon"
+	"ctgauss/internal/ctcheck"
 )
 
 // testFalconKey generates the shared falcon-256 test key once per
@@ -394,9 +395,16 @@ func TestMetricsReconcileWithLoadReport(t *testing.T) {
 		t.Fatalf("report.Requests = %d, want %d", report.Requests, 4*9)
 	}
 
+	// The served-samples counter covers both the per-σ pools and the
+	// free-form convolution layer (mix mode exercises both).
 	samples := scrapeMetric(t, ts.URL, "ctgaussd_samples_served_total")
-	if samples != float64(report.Samples) {
-		t.Fatalf("metrics samples %v != report samples %d", samples, report.Samples)
+	if samples != float64(report.Samples+report.ArbitrarySamples) {
+		t.Fatalf("metrics samples %v != report samples %d + arbitrary %d",
+			samples, report.Samples, report.ArbitrarySamples)
+	}
+	arbSamples := scrapeMetric(t, ts.URL, "ctgaussd_arbitrary_samples_total")
+	if arbSamples != float64(report.ArbitrarySamples) {
+		t.Fatalf("metrics arbitrary samples %v != report %d", arbSamples, report.ArbitrarySamples)
 	}
 	signs := scrapeMetric(t, ts.URL, "ctgaussd_signatures_total")
 	// The verify arm of mix mode signs once up front to get a genuine
@@ -409,6 +417,7 @@ func TestMetricsReconcileWithLoadReport(t *testing.T) {
 		t.Fatalf("metrics verifies %v != report verifies %d", verifies, report.Verifies)
 	}
 	reqTotal := scrapeMetric(t, ts.URL, `ctgaussd_requests_total{endpoint="samples"}`) +
+		scrapeMetric(t, ts.URL, `ctgaussd_requests_total{endpoint="arbitrary"}`) +
 		scrapeMetric(t, ts.URL, `ctgaussd_requests_total{endpoint="falcon_sign"}`) +
 		scrapeMetric(t, ts.URL, `ctgaussd_requests_total{endpoint="falcon_verify"}`)
 	if reqTotal != float64(report.Requests+1) {
@@ -562,7 +571,7 @@ func TestLoadGenFalconDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Errors != 0 || report.Samples != 2*3*8 || report.Signatures != 0 {
+	if report.Errors != 0 || report.Samples+report.ArbitrarySamples != 2*3*8 || report.Signatures != 0 {
 		t.Fatalf("mix against sampling-only daemon: %+v", report)
 	}
 	if _, err := RunLoad(LoadConfig{BaseURL: ts.URL, Mode: "sign", Clients: 1, Requests: 1}); err == nil {
@@ -660,10 +669,25 @@ func TestRequestValidation(t *testing.T) {
 		t.Fatalf("count > max: %d, want 413", resp.StatusCode)
 	}
 
-	// Unknown sigma.
+	// A σ without a precompiled pool is served free-form by the
+	// convolution layer; only unparseable or out-of-bounds σ are 400s.
 	resp, _ = postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 4, Sigma: "99"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("free-form sigma: %d, want 200", resp.StatusCode)
+	}
+	resp, _ = postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 4, Sigma: "not-a-number"})
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown sigma: %d, want 400", resp.StatusCode)
+		t.Fatalf("unparseable sigma: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 4, Sigma: "99999"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds sigma: %d, want 400", resp.StatusCode)
+	}
+	// With the layer disabled, unknown σ is a 400 naming the menu.
+	_, tsNoArb := newTestServer(t, func(c *Config) { c.DisableArbitrary = true })
+	resp, noArbBody := postJSONT(t, tsNoArb.URL+"/v1/samples", samplesRequest{Count: 4, Sigma: "99"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown sigma with arbitrary disabled: %d, want 400 (%s)", resp.StatusCode, noArbBody)
 	}
 
 	// Invalid base64 on the falcon endpoints.
@@ -725,5 +749,197 @@ func TestMultiSigma(t *testing.T) {
 	}
 	if sr.Sigma != "2" {
 		t.Fatalf("default sigma = %q, want 2", sr.Sigma)
+	}
+}
+
+// TestArbitraryEndpoint pins the /v1/arbitrary round trip and its
+// validation errors.
+func TestArbitraryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.MaxCount = 4096
+	})
+	resp, body := postJSONT(t, ts.URL+"/v1/arbitrary", arbitraryRequest{Count: 100, Sigma: 3.7, Mu: 0.25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arbitrary request: status %d: %s", resp.StatusCode, body)
+	}
+	var ar arbitraryResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Sigma != 3.7 || ar.Mu != 0.25 || len(ar.Samples) != 100 {
+		t.Fatalf("arbitrary response: sigma=%v mu=%v len=%d", ar.Sigma, ar.Mu, len(ar.Samples))
+	}
+
+	for name, req := range map[string]arbitraryRequest{
+		"zero count":    {Count: 0, Sigma: 3},
+		"missing sigma": {Count: 4},
+		"tiny sigma":    {Count: 4, Sigma: 0.01},
+		"huge sigma":    {Count: 4, Sigma: 1e9},
+	} {
+		resp, _ := postJSONT(t, ts.URL+"/v1/arbitrary", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, _ = postJSONT(t, ts.URL+"/v1/arbitrary", arbitraryRequest{Count: 5000, Sigma: 3})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("count > max: status %d, want 413", resp.StatusCode)
+	}
+
+	// Metrics expose the layer's ledger.
+	if v := scrapeMetric(t, ts.URL, "ctgaussd_arbitrary_samples_total"); v != 100 {
+		t.Fatalf("arbitrary samples metric = %v, want 100", v)
+	}
+	if v := scrapeMetric(t, ts.URL, "ctgaussd_arbitrary_sigmas"); v != 1 {
+		t.Fatalf("distinct sigmas metric = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts.URL, "ctgaussd_arbitrary_trials_total"); v <= 0 {
+		t.Fatalf("trials metric = %v, want > 0", v)
+	}
+}
+
+// TestArbitraryDisabled: with the layer off, the endpoint is absent and
+// /healthz says so.
+func TestArbitraryDisabled(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.DisableArbitrary = true
+	})
+	resp, _ := postJSONT(t, ts.URL+"/v1/arbitrary", arbitraryRequest{Count: 4, Sigma: 3})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /v1/arbitrary: status %d, want 404", resp.StatusCode)
+	}
+	hr := getHealth(t, ts.URL)
+	if hr.Arbitrary {
+		t.Fatal("healthz reports arbitrary enabled on a disabled daemon")
+	}
+}
+
+func getHealth(t *testing.T, baseURL string) healthResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	return hr
+}
+
+// TestArbitraryServesManySigmas is the PR's acceptance-criteria test: a
+// single compiled base set serves five distinct σ values — including
+// non-precompiled σ and a non-zero center — through both the Go API and
+// /v1/arbitrary.  The served samples must (a) be bit-identical to a
+// locally reconstructed sampler with the same derived seed (the serving
+// layer adds no draws of its own), and (b) pass the ctcheck statistical
+// harness against the ideal D_{ℤ,σ,μ}.
+func TestArbitraryServesManySigmas(t *testing.T) {
+	master := []byte("arbitrary-acceptance-seed")
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Seed = master
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.ArbitraryShards = 2
+	})
+	local, err := ctgauss.NewArbitrary(ctgauss.ArbitraryConfig{
+		Seed:   ArbitrarySeed(master),
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairs := []struct {
+		sigma, mu float64
+	}{
+		{2, 0},        // precompiled base member
+		{2.5, 0},      // non-precompiled σ
+		{3.75, 0.375}, // non-precompiled σ, non-zero μ
+		{6.15543, 0},  // the other base member
+		{23.4, -1.5},  // far outside the base set, negative center
+	}
+	const n = 30000
+	for _, pc := range pairs {
+		resp, body := postJSONT(t, ts.URL+"/v1/arbitrary",
+			arbitraryRequest{Count: n, Sigma: pc.sigma, Mu: pc.mu})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("σ=%g: status %d: %.200s", pc.sigma, resp.StatusCode, body)
+		}
+		var ar arbitraryResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int, n)
+		if err := local.NextBatch(pc.sigma, pc.mu, want); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if ar.Samples[i] != want[i] {
+				t.Fatalf("σ=%g μ=%g: served sample %d = %d, local reconstruction %d",
+					pc.sigma, pc.mu, i, ar.Samples[i], want[i])
+			}
+		}
+		g := ctcheck.ChiSquareGaussian(ar.Samples, pc.sigma, pc.mu)
+		t.Logf("σ=%g μ=%g: %s", pc.sigma, pc.mu, g)
+		if !g.Pass(0.001, 1.05) {
+			t.Fatalf("σ=%g μ=%g: served samples fail the acceptance harness: %s", pc.sigma, pc.mu, g)
+		}
+	}
+	if v := scrapeMetric(t, ts.URL, "ctgaussd_arbitrary_sigmas"); v != float64(len(pairs)) {
+		t.Fatalf("distinct sigmas metric = %v, want %d", v, len(pairs))
+	}
+	hr := getHealth(t, ts.URL)
+	if !hr.Arbitrary || len(hr.ArbitraryBases) != 2 || hr.ArbitrarySigmaMin <= 0 || hr.ArbitrarySigmaMax < 4096 {
+		t.Fatalf("healthz arbitrary block: %+v", hr)
+	}
+}
+
+// TestFreeformSigmaOnSamples: /v1/samples serves any in-bounds decimal σ
+// through the convolution layer, keeping the request's spelling.
+func TestFreeformSigmaOnSamples(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+	})
+	resp, body := postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 200, Sigma: "3.5"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("free-form σ: status %d: %s", resp.StatusCode, body)
+	}
+	var sr samplesResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Sigma != "3.5" || len(sr.Samples) != 200 {
+		t.Fatalf("free-form response: %+v", sr)
+	}
+	// Plausibility: folded mean of |z| for σ=3.5 is ≈ 2.8; a gross
+	// mis-scale (e.g. serving the default σ=2 pool) would miss this band.
+	var absSum float64
+	for _, v := range sr.Samples {
+		if v < 0 {
+			v = -v
+		}
+		absSum += float64(v)
+	}
+	if mean := absSum / float64(len(sr.Samples)); mean < 2.2 || mean > 3.4 {
+		t.Fatalf("free-form σ=3.5 mean |z| = %.2f, implausible", mean)
+	}
+	// The arbitrary endpoint and the free-form path share one ledger.
+	if v := scrapeMetric(t, ts.URL, "ctgaussd_arbitrary_samples_total"); v != 200 {
+		t.Fatalf("free-form draws not in the arbitrary ledger: %v", v)
+	}
+	// mix-load against this daemon exercises the arbitrary endpoint too.
+	report, err := RunLoad(LoadConfig{BaseURL: ts.URL, Mode: "arbitrary", Clients: 2, Requests: 3, Count: 16, Sigma: "4.2", Mu: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 || report.ArbitrarySamples != 2*3*16 {
+		t.Fatalf("arbitrary load report: %+v", report)
 	}
 }
