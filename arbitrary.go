@@ -26,6 +26,10 @@ type ArbitraryConfig struct {
 	// MinSigma and MaxSigma bound admissible σ requests (defaults 0.9
 	// and 4096).
 	MinSigma, MaxSigma float64
+	// Prefetch is the base-draw refill lookahead per (shard, base
+	// member) stream, as in Config.Prefetch (0 = default, negative =
+	// synchronous).
+	Prefetch int
 }
 
 // ArbitraryPlan describes how one σ is served: the dominating proposal
@@ -60,6 +64,7 @@ func NewArbitrary(cfg ArbitraryConfig) (*Arbitrary, error) {
 		Workers:  cfg.Workers,
 		MinSigma: cfg.MinSigma,
 		MaxSigma: cfg.MaxSigma,
+		Prefetch: cfg.Prefetch,
 	})
 	if err != nil {
 		return nil, err
@@ -94,3 +99,8 @@ func (a *Arbitrary) BitsUsed() uint64 { return a.inner.BitsUsed() }
 
 // Bounds returns the admissible σ range.
 func (a *Arbitrary) Bounds() (min, max float64) { return a.inner.Bounds() }
+
+// Close stops the background refill goroutines behind the base-draw
+// streams.  Draws concurrent with or after Close panic; callers own
+// that ordering (the serving layer drains first).
+func (a *Arbitrary) Close() { a.inner.Close() }

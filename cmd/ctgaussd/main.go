@@ -10,6 +10,9 @@
 //	ctgaussd -sigmas 2,6.15543 -shards 8
 //	ctgaussd -seed random                     # non-reproducible production seeds
 //	ctgaussd -cache /var/cache/ctgauss        # persist circuits across restarts
+//	ctgaussd -prefetch 4                      # deeper refill lookahead per shard
+//	ctgaussd -prefetch sync                   # inline refills (pre-engine behaviour)
+//	ctgaussd -prefetch 8,6.15543=sync         # per-σ depth overrides
 //	ctgaussd -falcon-n 0                      # sampling only
 //	ctgaussd -arbitrary=false                 # precompiled σ menu only
 //	ctgaussd -arbitrary-bases 2,6.15543       # convolution base set
@@ -31,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +49,7 @@ func main() {
 	shards := flag.Int("shards", 0, "sampling pool shards per σ (0 = NumCPU)")
 	seed := flag.String("seed", "", "master seed: hex, 'random' for fresh entropy, empty for the fixed dev seed")
 	prng := flag.String("prng", "chacha20", "pool PRNG: chacha20, shake256, aes-ctr")
+	prefetch := flag.String("prefetch", "", "refill lookahead per pool shard: a depth (e.g. 4), 'sync' for inline refills, or per-σ overrides '2=4,6.15543=sync' (empty = double buffering)")
 	arbitrary := flag.Bool("arbitrary", true, "serve free-form (σ, μ) at /v1/arbitrary and free-form σ at /v1/samples")
 	arbBases := flag.String("arbitrary-bases", "", "comma-separated base-set σ values for the convolution layer (default 2,6.15543)")
 	arbShards := flag.Int("arbitrary-shards", 0, "arbitrary sampler shards (0 = NumCPU)")
@@ -72,11 +77,18 @@ func main() {
 		log.Fatalf("ctgaussd: %v", err)
 	}
 
+	prefetchGlobal, prefetchBySigma, err := parsePrefetch(*prefetch)
+	if err != nil {
+		log.Fatalf("ctgaussd: %v", err)
+	}
+
 	cfg := server.Config{
 		Sigmas:           splitList(*sigmas),
 		PoolShards:       *shards,
 		Seed:             masterSeed,
 		PRNG:             *prng,
+		Prefetch:         prefetchGlobal,
+		PrefetchBySigma:  prefetchBySigma,
 		FalconN:          *falconN,
 		FalconKind:       kind,
 		FalconShards:     *falconShards,
@@ -121,10 +133,12 @@ func main() {
 	defer cancel()
 	done := make(chan struct{})
 	go func() {
-		// Drain refuses new work and waits for admitted requests; Shutdown
-		// closes the listener and waits for connections.  Run both so a
-		// request admitted just before the signal still completes.
-		s.Drain()
+		// Close drains (refusing new work, waiting for admitted requests)
+		// and then stops the refill runtime's producer goroutines;
+		// Shutdown closes the listener and waits for connections.  Run
+		// both so a request admitted just before the signal still
+		// completes before the engines stop.
+		s.Close()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("ctgaussd: shutdown: %v", err)
 		}
@@ -173,6 +187,45 @@ func parseKind(s string) (falcon.BaseSamplerKind, error) {
 		return falcon.BaseConvolve, nil
 	}
 	return 0, fmt.Errorf("unknown -falcon-kind %q (want bitsliced, cdt, bytescan, linear or convolve)", s)
+}
+
+// parsePrefetch maps the -prefetch flag to server config: a bare depth
+// ("4") or "sync" applies to every pool; "σ=depth" entries override per
+// σ.  Entries combine: "-prefetch 8,6.15543=sync" runs σ=6.15543
+// synchronously and everything else 8 deep.
+func parsePrefetch(s string) (global int, bySigma map[string]int, err error) {
+	parseDepth := func(v string) (int, error) {
+		if v == "sync" {
+			return -1, nil
+		}
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("-prefetch depth %q must be a non-negative integer or 'sync'", v)
+		}
+		if d == 0 {
+			return -1, nil // 0 refills of lookahead = synchronous
+		}
+		return d, nil
+	}
+	for _, field := range splitList(s) {
+		if sigma, v, ok := strings.Cut(field, "="); ok {
+			d, err := parseDepth(v)
+			if err != nil {
+				return 0, nil, err
+			}
+			if bySigma == nil {
+				bySigma = make(map[string]int)
+			}
+			bySigma[strings.TrimSpace(sigma)] = d
+			continue
+		}
+		d, err := parseDepth(field)
+		if err != nil {
+			return 0, nil, err
+		}
+		global = d
+	}
+	return global, bySigma, nil
 }
 
 func splitList(s string) []string {

@@ -3,7 +3,10 @@
 // counters are designed to reconcile with the daemon's /metrics:
 // requests against ctgaussd_requests_total, samples against
 // ctgaussd_samples_served_total, signatures and verifications against
-// their counters.
+// their counters.  The report also carries the refill engine's prefetch
+// ledger (prefetch_hits, prefetch_misses, prefetch_hit_ratio), scraped
+// from ctgaussd_prefetch_{hits,misses}_total after the run — how often
+// a served draw found its circuit evaluation already done.
 //
 // Usage:
 //

@@ -10,6 +10,8 @@
 //	samplebench -parallel               # build pipeline + pool throughput
 //	samplebench -parallel -cache DIR    # ... with the on-disk circuit cache
 //	samplebench -arbitrary -json BENCH_PR4.json   # convolved vs direct-compiled
+//	samplebench -serving -json BENCH_PR5.json     # sync vs async refill engine
+//	samplebench -serving -engine async            # one engine variant only
 //
 // The Table-2 JSON report compares every evaluation engine (reference SSA
 // interpreter, register-allocated interpreter at widths 1/4/8, generated
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,7 +46,9 @@ func main() {
 	overhead := flag.Bool("prng-overhead", false, "measure the PRNG share of sampling time (§7)")
 	parallelMode := flag.Bool("parallel", false, "measure parallel build, cache hits, and pool serving throughput")
 	arbitraryMode := flag.Bool("arbitrary", false, "measure the convolution layer (free-form σ, μ) vs direct compiled circuits")
-	goroutines := flag.String("goroutines", "1,4,16", "comma-separated pool caller counts for -parallel")
+	servingMode := flag.Bool("serving", false, "measure served-batch latency and throughput on the pool refill engine (BENCH_PR5.json)")
+	engineSel := flag.String("engine", "both", "refill engine for -serving: sync, async, or both")
+	goroutines := flag.String("goroutines", "1,4,16", "comma-separated pool caller counts for -parallel and -serving")
 	cacheDir := flag.String("cache", "", "on-disk circuit cache directory for -parallel (default: memory only)")
 	sigma := flag.String("sigma", "2", "σ for -parallel")
 	batches := flag.Int("batches", 20000, "64-sample batches per measurement")
@@ -59,7 +64,7 @@ func main() {
 	}
 
 	if *jsonPath != "" && (*overhead || *parallelMode) {
-		check(fmt.Errorf("-json applies only to the Table 2 and -arbitrary modes (run without -prng-overhead/-parallel)"))
+		check(fmt.Errorf("-json applies only to the Table 2, -arbitrary and -serving modes (run without -prng-overhead/-parallel)"))
 	}
 	if *overhead {
 		prngOverhead(*batches)
@@ -71,6 +76,10 @@ func main() {
 	}
 	if *arbitraryMode {
 		arbitraryBench(*batches, *jsonPath)
+		return
+	}
+	if *servingMode {
+		servingBench(*sigma, *goroutines, *batches, *engineSel, *jsonPath)
 		return
 	}
 	table2(*batches, *cyclesPerNs, *jsonPath)
@@ -336,6 +345,146 @@ func arbitraryBench(batches int, jsonPath string) {
 	fmt.Println("\nconvolved rows pay per-trial rejection (accept column) plus one base draw per")
 	fmt.Println("ladder term; direct rows are the per-σ compiled floor the registry serves when")
 	fmt.Println("a circuit exists.  BENCH_PR4.json records this table.")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		check(err)
+	}
+}
+
+// servingRow is one (engine, scenario, goroutines) measurement of the
+// -serving report.
+type servingRow struct {
+	Engine           string  `json:"engine"`   // "sync" or "async"
+	Scenario         string  `json:"scenario"` // "paced" or "saturated"
+	Goroutines       int     `json:"goroutines"`
+	Prefetch         int     `json:"prefetch"` // resolved ring depth (0 = inline refill)
+	MeanNsPerBatch   float64 `json:"mean_ns_per_batch"`
+	P50NsPerBatch    float64 `json:"p50_ns_per_batch"`
+	P99NsPerBatch    float64 `json:"p99_ns_per_batch"`
+	SamplesPerSecond float64 `json:"samples_per_sec"`
+	PrefetchHitRatio float64 `json:"prefetch_hit_ratio"`
+}
+
+// servingReport is the samplebench -serving JSON schema (BENCH_PR5.json).
+type servingReport struct {
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	CPUs    int          `json:"cpus"`
+	Sigma   string       `json:"sigma"`
+	Batches int          `json:"batches_per_goroutine"`
+	PacedNs int64        `json:"paced_interval_ns"`
+	Rows    []servingRow `json:"rows"`
+}
+
+// pacedInterval is the inter-arrival gap of the paced scenario: long
+// enough for a background producer to refill between requests, short
+// enough to be a realistic per-client serving cadence.
+const pacedInterval = 100 * time.Microsecond
+
+// servingBench measures what a request pays for a 64-sample batch under
+// the two refill engines.  The paced scenario models serving traffic —
+// requests with idle gaps between them — where the async engine's
+// producers evaluate circuits during the gaps and a draw costs a copy;
+// it is the p99 the acceptance criteria track.  The saturated scenario
+// hammers the pool with no gaps, measuring sustained throughput where
+// prefetch can only pipeline, not hide, evaluations.
+func servingBench(sigma, goroutines string, batches int, engineSel, jsonPath string) {
+	engines := []struct {
+		name     string
+		prefetch int
+	}{{"sync", -1}, {"async", 0}}
+	switch engineSel {
+	case "both":
+	case "sync":
+		engines = engines[:1]
+	case "async":
+		engines = engines[1:]
+	default:
+		check(fmt.Errorf("-engine must be sync, async or both, got %q", engineSel))
+	}
+
+	report := servingReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Sigma: sigma, Batches: batches, PacedNs: pacedInterval.Nanoseconds(),
+	}
+	fmt.Printf("refill engine, served 64-sample batches — σ=%s, %d batches/goroutine, %d CPUs\n\n", sigma, batches, runtime.NumCPU())
+	fmt.Printf("%-7s %-10s %-10s %12s %12s %12s %16s %8s\n",
+		"engine", "scenario", "goroutines", "mean ns", "p50 ns", "p99 ns", "samples/sec", "hits")
+
+	for _, eng := range engines {
+		for _, scenario := range []string{"paced", "saturated"} {
+			for _, field := range strings.Split(goroutines, ",") {
+				g, err := strconv.Atoi(strings.TrimSpace(field))
+				check(err)
+				if g < 1 {
+					check(fmt.Errorf("-goroutines values must be ≥ 1, got %d", g))
+				}
+				pool, err := ctgauss.NewPoolWithConfig(ctgauss.Config{Sigma: sigma, Prefetch: eng.prefetch}, g)
+				check(err)
+				lats := make([][]time.Duration, g)
+				var wg sync.WaitGroup
+				wg.Add(g)
+				start := time.Now()
+				for i := 0; i < g; i++ {
+					go func(i int) {
+						defer wg.Done()
+						dst := make([]int, 64)
+						lat := make([]time.Duration, batches)
+						for b := 0; b < batches; b++ {
+							if scenario == "paced" {
+								time.Sleep(pacedInterval)
+							}
+							t0 := time.Now()
+							pool.NextBatch(dst)
+							lat[b] = time.Since(t0)
+						}
+						lats[i] = lat
+					}(i)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				var all []time.Duration
+				for _, l := range lats {
+					all = append(all, l...)
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+				var sum time.Duration
+				for _, d := range all {
+					sum += d
+				}
+				pick := func(q float64) float64 {
+					return float64(all[int(q*float64(len(all)-1))].Nanoseconds())
+				}
+				es := pool.EngineStats()
+				row := servingRow{
+					Engine: eng.name, Scenario: scenario, Goroutines: g,
+					Prefetch:         es.Prefetch,
+					MeanNsPerBatch:   float64(sum.Nanoseconds()) / float64(len(all)),
+					P50NsPerBatch:    pick(0.5),
+					P99NsPerBatch:    pick(0.99),
+					SamplesPerSecond: float64(len(all)*64) / elapsed.Seconds(),
+					PrefetchHitRatio: es.HitRatio(),
+				}
+				report.Rows = append(report.Rows, row)
+				fmt.Printf("%-7s %-10s %-10d %12.0f %12.0f %12.0f %16.0f %7.0f%%\n",
+					eng.name, scenario, g, row.MeanNsPerBatch, row.P50NsPerBatch, row.P99NsPerBatch,
+					row.SamplesPerSecond, 100*row.PrefetchHitRatio)
+				pool.Close()
+			}
+		}
+	}
+	fmt.Println("\npaced rows model serving traffic (fixed inter-arrival gaps): the async engine's")
+	fmt.Println("producers refill during the gaps, so a draw pays a copy instead of a circuit")
+	fmt.Println("evaluation — the p99 win the acceptance criteria track.  saturated rows have no")
+	fmt.Println("gaps; prefetch can only pipeline evaluations there.  BENCH_PR5.json records this.")
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

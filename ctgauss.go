@@ -66,6 +66,12 @@ type Config struct {
 	// minimization (0 = all CPUs, 1 = serial).  It affects build speed
 	// only, never the generated circuit.
 	Workers int
+	// Prefetch applies to pools only: how many refills each shard's
+	// background producer keeps ready ahead of demand (0 =
+	// DefaultPrefetch, negative = synchronous refill under the shard
+	// lock).  Per-shard sample streams are bit-identical at any setting;
+	// prefetch only moves evaluation latency off the request path.
+	Prefetch int
 }
 
 func (c Config) normalize() Config {

@@ -63,9 +63,14 @@ func NewSigner(sk *PrivateKey, kind BaseSamplerKind, seed []byte) (*Signer, erro
 // shards over sk (0 = one per CPU).  Shard seeds derive from seed with
 // domain separation, so one master seed yields independent signing
 // streams; Sign round-robins across shards and Verify is stateless.
+// Close gates the pool at drain time: later Sign calls fail with
+// ErrPoolClosed.
 func NewSignerPool(sk *PrivateKey, kind BaseSamplerKind, seed []byte, parallelism int) (*SignerPool, error) {
 	return ifalcon.NewSignerPool(sk, kind, seed, parallelism)
 }
+
+// ErrPoolClosed is returned by SignerPool.Sign after Close.
+var ErrPoolClosed = ifalcon.ErrPoolClosed
 
 // DecodeSignature parses Signature.Encode output.
 func DecodeSignature(data []byte) (*Signature, error) { return ifalcon.DecodeSignature(data) }

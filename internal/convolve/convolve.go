@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"ctgauss/internal/core"
+	"ctgauss/internal/engine"
 	"ctgauss/internal/gaussian"
 	"ctgauss/internal/prng"
 	"ctgauss/internal/registry"
@@ -89,6 +90,11 @@ type Config struct {
 	// MinSigma and MaxSigma bound admissible requests (defaults
 	// DefaultMinSigma, DefaultMaxSigma).
 	MinSigma, MaxSigma float64
+	// Prefetch is the refill lookahead per (shard, base member) stream
+	// on the engine runtime: 0 = engine.DefaultDepth, negative =
+	// synchronous refill.  Per-stream draws are bit-identical at any
+	// setting.
+	Prefetch int
 }
 
 func (c Config) normalize() Config {
@@ -119,35 +125,10 @@ func (c Config) normalize() Config {
 	return c
 }
 
-// laneSource feeds one base member's signed samples to the lane
-// evaluator, draining 64-sample batches from a width-8 (512-lane) wide
-// sampler so base randomness stays bulk-batched.
-type laneSource struct {
-	s      sampler.BatchSampler
-	buf    [64]int
-	used   int
-	popped uint64 // samples handed out (the per-trial draw ledger)
-}
-
-// accumulate pops n samples and adds them into acc scaled by coeff —
-// one plan term's contribution to the combined proposal, with a trip
-// count fixed by (n, plan) and branch-free per-value arithmetic.
-func (ls *laneSource) accumulate(acc []int64, coeff int64, n int) {
-	for i := 0; i < n; i++ {
-		if ls.used == len(ls.buf) {
-			ls.s.NextBatch(ls.buf[:])
-			ls.used = 0
-		}
-		acc[i] += coeff * int64(ls.buf[ls.used])
-		ls.used++
-	}
-	ls.popped += uint64(n)
-}
-
-// shard owns one set of independent streams plus lane scratch.
+// shard owns one coin stream plus lane scratch; base draws come from
+// the per-member engine rings at the shard's index.
 type shard struct {
 	mu    sync.Mutex
-	bases []*laneSource
 	coins *prng.BitReader
 
 	xs [laneBlock]int64
@@ -158,12 +139,20 @@ type shard struct {
 // Sampler draws from D_{ℤ,σ,μ} for any admissible (σ, μ).  Next and
 // NextBatch are safe for any number of concurrent callers; requests
 // round-robin across shards.
+//
+// Base draws run on the unified engine runtime: one engine per base
+// member, with one refill ring per shard, so circuit evaluations
+// prefetch on background producers exactly as in ctgauss.Pool while
+// each (shard, base) stream keeps its synchronous draw order.  Call
+// Close to stop the producers when done.
 type Sampler struct {
 	cfg        Config
 	set        *registry.SetArtifact
 	baseSigmas []float64
 	menu       []*recipe // admissible ladder recipes, sorted by width
 	shards     []*shard
+	engines    []*engine.Engine[int] // one per base member
+	baseBits   []uint64              // random bits per refill, per base member
 	ctr        atomic.Uint64
 
 	plans     sync.Map // math.Float64bits(σ) → *plan
@@ -208,23 +197,56 @@ func New(cfg Config) (*Sampler, error) {
 	}
 	s := &Sampler{cfg: cfg, set: set, baseSigmas: sigmas, menu: menu, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
-		sh := &shard{bases: make([]*laneSource, len(cfg.Bases))}
-		for bi, art := range set.Members {
-			src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, bi))
-			if err != nil {
-				return nil, err
-			}
-			sh.bases[bi] = &laneSource{s: art.NewWideSampler(src, sampler.DefaultWidth)}
-			sh.bases[bi].used = len(sh.bases[bi].buf)
-		}
 		src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, coinRole))
 		if err != nil {
 			return nil, err
 		}
-		sh.coins = prng.NewBitReader(src)
-		s.shards[i] = sh
+		s.shards[i] = &shard{coins: prng.NewBitReader(src)}
+	}
+	// One engine per base member: shard i of every engine holds that
+	// shard's independent stream for the member, refilled 512 lanes at a
+	// time ahead of demand.
+	depth := cfg.Prefetch
+	switch {
+	case depth == 0:
+		depth = engine.DefaultDepth
+	case depth < 0:
+		depth = 0
+	}
+	s.engines = make([]*engine.Engine[int], len(set.Members))
+	s.baseBits = make([]uint64, len(set.Members))
+	for bi, art := range set.Members {
+		wides := make([]sampler.BatchSampler, cfg.Shards)
+		for i := range wides {
+			src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, bi))
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			wides[i] = art.NewWideSampler(src, sampler.DefaultWidth)
+		}
+		s.baseBits[bi] = uint64(art.Program.NumInputs+1) * 64 * sampler.DefaultWidth
+		s.engines[bi] = engine.New(engine.Config{
+			Shards:   cfg.Shards,
+			SlotSize: sampler.DefaultWidth * 64,
+			Depth:    depth,
+		}, func(sh int, dst []int) {
+			for off := 0; off < len(dst); off += 64 {
+				wides[sh].NextBatch(dst[off : off+64])
+			}
+		})
 	}
 	return s, nil
+}
+
+// Close stops the base engines' producer goroutines.  Draws concurrent
+// with or after Close panic; callers own that ordering.
+func (s *Sampler) Close() {
+	for _, e := range s.engines {
+		if e != nil {
+			e.Close()
+		}
+	}
 }
 
 // coinRole is the domain-separation role index of a shard's coin stream
@@ -305,13 +327,26 @@ func (s *Sampler) NextBatch(sigma, mu float64, dst []int) error {
 		if w < 8 {
 			w = 8
 		}
-		sh := s.pick()
+		si := s.pick()
+		sh := s.shards[si]
 		sh.mu.Lock()
 		for i := 0; i < w; i++ {
 			sh.xs[i] = 0
 		}
+		// One plan term's contribution per pass: pop w samples of the
+		// term's base stream (zero-copy slices of the engine ring) and
+		// add them into the proposal scaled by the coefficient.  The trip
+		// count is fixed by (w, plan) and the per-value arithmetic is
+		// branch-free, as in the pre-engine draw loop.
 		for _, term := range p.Terms {
-			sh.bases[term.Base].accumulate(sh.xs[:w], term.Coeff, w)
+			coeff := term.Coeff
+			j := 0
+			s.engines[term.Base].ConsumeFrom(si, w, func(chunk []int) {
+				for _, v := range chunk {
+					sh.xs[j] += coeff * int64(v)
+					j++
+				}
+			})
 		}
 		sh.coins.FillWords(sh.cw[:w])
 		mask := evalLanes(p, r, sh.xs[:w], sh.cw[:w], sh.zs[:w], w)
@@ -331,22 +366,30 @@ func (s *Sampler) NextBatch(sigma, mu float64, dst []int) error {
 	return nil
 }
 
-// pick selects the next shard round-robin.
-func (s *Sampler) pick() *shard {
-	return s.shards[s.ctr.Add(1)%uint64(len(s.shards))]
+// pick selects the next shard round-robin.  Unlike ctgauss.Pool's
+// striped picker, this stays a single deterministic counter: the HTTP
+// bit-identity acceptance test reconstructs the served stream with a
+// local sampler, which requires sequential requests to visit shards in
+// a reproducible order.
+func (s *Sampler) pick() int {
+	return int(s.ctr.Add(1) % uint64(len(s.shards)))
 }
 
-// BitsUsed reports total random bits consumed across all shard streams
-// (base samplers and rounding coins).
+// BitsUsed reports total random bits consumed by the served stream
+// across all shard streams (base samplers and rounding coins).  Base
+// bits derive from the engine ledger's started-refill count — exactly
+// the evaluations the synchronous path would have run — so the value is
+// independent of producer lookahead and deterministic for a
+// deterministic caller.
 func (s *Sampler) BitsUsed() uint64 {
 	var total uint64
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		total += sh.coins.BitsRead
-		for _, ls := range sh.bases {
-			total += ls.s.BitsUsed()
-		}
 		sh.mu.Unlock()
+	}
+	for bi, e := range s.engines {
+		total += e.Ledger().RefillsStarted * s.baseBits[bi]
 	}
 	return total
 }

@@ -209,16 +209,16 @@ func TestTrialWorkIsConstant(t *testing.T) {
 		t.Fatal("per-trial coin consumption varies")
 	}
 	// Base-sample consumption: every trial draws exactly one sample per
-	// plan term, so each base's popped ledger must equal trials × (terms
-	// on that base) — an exact accounting no value-dependent skip or
-	// retry could satisfy.
+	// plan term, so each base engine's consumption ledger must equal
+	// trials × (terms on that base) — an exact accounting no
+	// value-dependent skip or retry could satisfy.
 	p := s.planOf(3.3)
 	perBase := make(map[int]uint64)
 	for _, term := range p.Terms {
 		perBase[term.Base] += s.trials.Load()
 	}
 	for bi, want := range perBase {
-		if got := sh.bases[bi].popped; got != want {
+		if got := s.engines[bi].Ledger().ItemsConsumed; got != want {
 			t.Fatalf("base %d popped %d samples for %d trials × %d terms (want %d)",
 				bi, got, s.trials.Load(), len(p.Terms), want)
 		}
@@ -411,5 +411,53 @@ func TestDeterministicStreams(t *testing.T) {
 	}
 	if a.BitsUsed() != b.BitsUsed() {
 		t.Fatalf("same seed, different randomness ledgers: %d vs %d", a.BitsUsed(), b.BitsUsed())
+	}
+}
+
+// TestAsyncMatchesSyncConvolve is the cross-engine bit-identity
+// property test for the convolve path: with the same seed, the
+// asynchronous engine (background base-draw producers) must emit
+// exactly the stream of the synchronous engine for every request
+// pattern, and the randomness ledgers must agree — prefetch only moves
+// evaluation latency, never the stream.
+func TestAsyncMatchesSyncConvolve(t *testing.T) {
+	mk := func(prefetch int) *Sampler {
+		s, err := New(Config{
+			Bases:     []string{"2"},
+			Precision: 48,
+			Shards:    2,
+			Seed:      []byte("engine-identity"),
+			Prefetch:  prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sync_, async := mk(-1), mk(3)
+	defer sync_.Close()
+	defer async.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	pairs := []struct{ sigma, mu float64 }{{2, 0}, {3.7, 0.25}, {11, -1.5}}
+	for i := 0; i < 40; i++ {
+		pc := pairs[i%len(pairs)]
+		n := 1 + rng.Intn(150)
+		a, b := make([]int, n), make([]int, n)
+		if err := sync_.NextBatch(pc.sigma, pc.mu, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := async.NextBatch(pc.sigma, pc.mu, b); err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("request %d (σ=%g μ=%g): sync %d vs async %d at %d",
+					i, pc.sigma, pc.mu, a[j], b[j], j)
+			}
+		}
+	}
+	if sb, ab := sync_.BitsUsed(), async.BitsUsed(); sb != ab {
+		t.Fatalf("ledger diverges: sync %d bits, async %d bits", sb, ab)
 	}
 }

@@ -1,0 +1,332 @@
+// Package engine is the unified asynchronous refill runtime under every
+// sharded serving surface in this repo: ctgauss.Pool, ctgauss.Arbitrary
+// (the convolution layer's base draws), falcon.SignerPool, and the
+// ctgaussd request coalescers.
+//
+// The paper's speed claim rests on keeping the bitsliced lanes full — a
+// circuit evaluation amortizes only when all W×64 lanes of a refill are
+// consumed.  Before this package existed, every refill ran inline on a
+// request goroutine under a shard mutex: p99 latency absorbed whole
+// evaluation costs, shards sat idle between requests, and the
+// shard/ring/ledger machinery was hand-rolled in three packages plus two
+// server coalescer variants.  Engine centralizes it:
+//
+//   - Each shard owns a ring of Depth refill slots.  A background
+//     producer goroutine runs the fill function (a circuit evaluation, a
+//     bulk PRNG draw — whatever regenerates one refill) ahead of demand,
+//     so a consumer that arrives while the ring holds data pays a memcpy,
+//     not an evaluation.
+//   - Consumers take zero-copy slices of completed refills in stream
+//     order: ConsumeFrom hands the caller successive sub-slices of the
+//     ring's slots, so the only copy is the caller's own move into its
+//     destination.  Per-shard streams are bit-identical to the
+//     synchronous path — each ring is filled in stream order by a single
+//     producer — which is what keeps the golden-stream and served-sample
+//     bit-identity tests passing unchanged.
+//   - Prefetch depth adapts to the drain rate: the producer's target
+//     starts at one refill ahead, doubles (up to Depth) whenever a
+//     consumer had to wait, and decays after a long streak of waitless
+//     takes, so an idle pool stops burning randomness and CPU.
+//   - A single Ledger replaces the scattered BitsUsed/Stats/batches
+//     accounting.  RefillsStarted counts refills whose consumption began,
+//     which is exactly when the synchronous path would have evaluated
+//     them — so BitsUsed-style ledgers derived from it are independent of
+//     how far the producer has run ahead, and deterministic for a
+//     deterministic consumer.
+//
+// Depth = 0 selects the synchronous mode: no goroutines, refills run
+// inline under the ring lock — bit- and ledger-identical to the
+// pre-engine behaviour, and the baseline the BENCH_PR5 serving benchmark
+// compares against.
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultDepth is the ring depth used when a consumer passes 0 to the
+// layers above (double buffering: the producer fills one slot while
+// consumers drain another).
+const DefaultDepth = 2
+
+// decayStreak is the number of consecutive waitless takes after which
+// the adaptive prefetch target steps down by one (never below 1): a
+// consumer that always finds data ready is not draining fast enough to
+// need the current lookahead.
+const decayStreak = 64
+
+// Fill regenerates one refill: it must write the next len(dst) items of
+// shard s's stream into dst.  For a given shard it is never called
+// concurrently with itself — the shard's producer goroutine (or, in
+// synchronous mode, the consumer holding the ring lock) is the only
+// caller — so implementations may keep per-shard state without locking.
+type Fill[T any] func(s int, dst []T)
+
+// Config sizes an Engine.
+type Config struct {
+	// Shards is the number of independent streams (≥ 1).
+	Shards int
+	// SlotSize is the item count of one refill slot.  Layers above set it
+	// to their natural refill granularity (width×64 samples for a pool
+	// shard) so RefillsStarted counts circuit evaluations exactly.
+	SlotSize int
+	// Depth is the ring depth: how many completed refills a shard buffers
+	// ahead of demand.  0 = synchronous (no producer goroutines); the
+	// adaptive target never exceeds it.
+	Depth int
+}
+
+// Engine runs Config.Shards independent refill rings over one fill
+// function.  ConsumeFrom is safe for any number of concurrent callers;
+// Close stops the producers and must only run once no consumer can call
+// in again (the server's drain gate enforces this ordering).
+type Engine[T any] struct {
+	cfg   Config
+	fill  Fill[T]
+	rings []*ring[T]
+	wg    sync.WaitGroup
+}
+
+// ring is one shard's refill ring.  All fields are guarded by mu; the
+// slot being filled by the producer (slots[tail%Depth]) is exclusively
+// the producer's while tail−head < Depth, which the produce condition
+// guarantees.
+type ring[T any] struct {
+	mu   sync.Mutex
+	more sync.Cond // producer → consumers: a refill completed
+	need sync.Cond // consumers → producer: space or demand appeared
+
+	slots  [][]T
+	head   uint64 // refills fully consumed
+	tail   uint64 // refills produced
+	cur    int    // items consumed within slots[head%Depth]
+	target int    // adaptive prefetch goal, in [1, Depth]
+	streak int    // consecutive waitless takes (drives target decay)
+	closed bool
+
+	started  uint64 // refills whose consumption began
+	consumed uint64 // items handed to consumers
+	hits     uint64 // takes served without waiting for a fill
+	misses   uint64 // takes that waited (async) or filled inline (sync)
+}
+
+// New builds an engine and, in asynchronous mode, starts one producer
+// goroutine per shard.  Producers begin filling immediately, so a
+// freshly built engine warms its rings before the first request.
+func New[T any](cfg Config, fill Fill[T]) *Engine[T] {
+	if cfg.Shards < 1 {
+		panic(fmt.Sprintf("engine: %d shards", cfg.Shards))
+	}
+	if cfg.SlotSize < 1 {
+		panic(fmt.Sprintf("engine: slot size %d", cfg.SlotSize))
+	}
+	if cfg.Depth < 0 {
+		cfg.Depth = 0
+	}
+	e := &Engine[T]{cfg: cfg, fill: fill, rings: make([]*ring[T], cfg.Shards)}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 1 // one inline slot for the synchronous mode
+	}
+	for i := range e.rings {
+		r := &ring[T]{slots: make([][]T, depth), target: 1}
+		for j := range r.slots {
+			r.slots[j] = make([]T, cfg.SlotSize)
+		}
+		r.more.L = &r.mu
+		r.need.L = &r.mu
+		e.rings[i] = r
+	}
+	if cfg.Depth > 0 {
+		e.wg.Add(cfg.Shards)
+		for i := range e.rings {
+			go e.producer(i)
+		}
+	}
+	return e
+}
+
+// Shards returns the shard count.
+func (e *Engine[T]) Shards() int { return e.cfg.Shards }
+
+// SlotSize returns the refill granularity in items.
+func (e *Engine[T]) SlotSize() int { return e.cfg.SlotSize }
+
+// Async reports whether background producers are running.
+func (e *Engine[T]) Async() bool { return e.cfg.Depth > 0 }
+
+// producer is shard s's background refiller: it keeps the ring target
+// refills ahead of the consumers and parks when the lookahead is
+// satisfied.  The fill itself runs outside the ring lock, overlapping
+// with consumers draining earlier slots.
+func (e *Engine[T]) producer(s int) {
+	defer e.wg.Done()
+	r := e.rings[s]
+	depth := uint64(len(r.slots))
+	r.mu.Lock()
+	for {
+		for !r.closed && int(r.tail-r.head) >= r.target {
+			r.need.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		slot := r.slots[r.tail%depth]
+		r.mu.Unlock()
+		e.fill(s, slot)
+		r.mu.Lock()
+		r.tail++
+		r.more.Broadcast()
+	}
+}
+
+// ConsumeFrom hands fn the next n items of shard s's stream as one or
+// more sub-slices of completed refill slots, in stream order.  fn runs
+// under the ring lock (callers do a bounded amount of work per chunk —
+// a copy or a multiply-accumulate), so concurrent consumers of one
+// shard serialize exactly as they did under the old shard mutex; the
+// chunks passed to fn concatenate to the same byte stream the
+// synchronous path would produce.  Panics if the engine is closed.
+func (e *Engine[T]) ConsumeFrom(s, n int, fn func(chunk []T)) {
+	r := e.rings[s]
+	depth := uint64(len(r.slots))
+	r.mu.Lock()
+	waited := false
+	first := true
+	for n > 0 {
+		if r.closed {
+			r.mu.Unlock()
+			panic("engine: ConsumeFrom after Close")
+		}
+		if r.tail == r.head {
+			if e.cfg.Depth == 0 {
+				// Synchronous mode: evaluate inline, holding the ring
+				// lock — the old one-sampler-per-shard-mutex discipline.
+				e.fill(s, r.slots[0])
+				r.tail++
+				waited = true
+			} else {
+				waited = true
+				// Demand outran the lookahead: widen the target so the
+				// producer runs further ahead next time.
+				if t := r.target * 2; t <= e.cfg.Depth {
+					r.target = t
+				} else {
+					r.target = e.cfg.Depth
+				}
+				r.streak = 0
+				r.need.Signal()
+				r.more.Wait()
+				continue
+			}
+		}
+		if first {
+			first = false
+			if waited {
+				r.misses++
+			} else {
+				r.hits++
+				r.streak++
+				if r.streak >= decayStreak {
+					r.streak = 0
+					if r.target > 1 {
+						r.target--
+					}
+				}
+			}
+		}
+		slot := r.slots[r.head%depth]
+		if r.cur == 0 {
+			r.started++
+		}
+		k := len(slot) - r.cur
+		if k > n {
+			k = n
+		}
+		fn(slot[r.cur : r.cur+k])
+		r.cur += k
+		n -= k
+		r.consumed += uint64(k)
+		if r.cur == len(slot) {
+			r.cur = 0
+			r.head++
+			r.need.Signal()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// TakeFrom copies the next len(dst) items of shard s's stream into dst.
+func (e *Engine[T]) TakeFrom(s int, dst []T) {
+	n := 0
+	e.ConsumeFrom(s, len(dst), func(chunk []T) {
+		n += copy(dst[n:], chunk)
+	})
+}
+
+// Close stops the producer goroutines and waits for them to exit.  It
+// must be ordered after the last consumer call: a ConsumeFrom issued
+// after (or blocked across) Close panics, because silently returning
+// unfilled buffers would corrupt the served stream.  Closing twice is
+// harmless.
+func (e *Engine[T]) Close() {
+	for _, r := range e.rings {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		r.need.Broadcast()
+		r.more.Broadcast()
+	}
+	e.wg.Wait()
+}
+
+// Ledger is the unified refill/consumption accounting, aggregated over
+// all shards.  It replaces the per-layer BitsUsed sums, coalescer batch
+// counters, and laneSource draw ledgers that predate the engine.
+type Ledger struct {
+	Shards   int
+	SlotSize int
+	Depth    int // configured ring depth (0 = synchronous)
+
+	// RefillsProduced counts fills completed, including lookahead not yet
+	// consumed.  RefillsStarted counts refills whose consumption began —
+	// exactly the evaluations the synchronous path would have run, so
+	// randomness ledgers derive from it (bits = RefillsStarted ×
+	// bits-per-refill) independent of producer lookahead.
+	RefillsProduced uint64
+	RefillsStarted  uint64
+	// ItemsConsumed counts items handed to consumers.
+	ItemsConsumed uint64
+	// PrefetchHits counts takes served without waiting for a fill;
+	// PrefetchMisses counts takes that waited on the producer (async) or
+	// evaluated inline (sync).
+	PrefetchHits   uint64
+	PrefetchMisses uint64
+}
+
+// HitRatio returns PrefetchHits / (PrefetchHits + PrefetchMisses), or 0
+// before any take.
+func (l Ledger) HitRatio() float64 {
+	total := l.PrefetchHits + l.PrefetchMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.PrefetchHits) / float64(total)
+}
+
+// Ledger snapshots the aggregate counters.
+func (e *Engine[T]) Ledger() Ledger {
+	l := Ledger{Shards: e.cfg.Shards, SlotSize: e.cfg.SlotSize, Depth: e.cfg.Depth}
+	for _, r := range e.rings {
+		r.mu.Lock()
+		l.RefillsProduced += r.tail
+		l.RefillsStarted += r.started
+		l.ItemsConsumed += r.consumed
+		l.PrefetchHits += r.hits
+		l.PrefetchMisses += r.misses
+		r.mu.Unlock()
+	}
+	return l
+}

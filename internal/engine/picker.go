@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Picker hands out shard indices approximately round-robin without a
+// single contended counter.  The old `ctr.Add(1) % n` pick put every
+// caller's increment on one cacheline; at high core counts the
+// coherence traffic on that line dominated the (otherwise lock-free)
+// pick.  Picker stripes the counter through a sync.Pool — which is
+// per-P under the hood — so concurrent callers on different Ps advance
+// distinct counters with plain (uncontended, exclusively owned)
+// increments, and only pool misses touch shared state.
+//
+// Each stripe walks all shards with stride 1 from its own starting
+// offset (drawn from an atomic seed), so every shard is visited and
+// load spreads evenly in aggregate.  The first counter a fresh Picker
+// creates starts at offset 0, reproducing the historical global
+// sequence's first value (pick = 1 mod n) — a fresh pool's first draw
+// hits the same shard it always did, so single-draw golden streams are
+// unchanged.  Beyond the first pick the sequence is only statistically
+// round-robin: a stripe can retire at any time (sync.Pool drops items
+// on GC, and at random under the race detector), and the
+// cross-goroutine interleave of shards is unspecified — as it already
+// was under mutex wait ordering.
+type Picker struct {
+	n    int
+	seed atomic.Uint64
+	pool sync.Pool
+}
+
+// pickCtr is one stripe's counter.  It is exclusively owned between
+// Get and Put, so the increment needs no atomics.  The padding keeps
+// two stripes from sharing a cacheline when the pool allocates them
+// back to back.
+type pickCtr struct {
+	n uint64
+	_ [7]uint64
+}
+
+// NewPicker builds a picker over n shards.
+func NewPicker(n int) *Picker {
+	p := &Picker{n: n}
+	p.pool.New = func() any {
+		return &pickCtr{n: p.seed.Add(1) - 1}
+	}
+	return p
+}
+
+// Pick returns the next shard index for this caller's stripe.
+func (p *Picker) Pick() int {
+	if p.n <= 1 {
+		return 0
+	}
+	c := p.pool.Get().(*pickCtr)
+	c.n++
+	i := int(c.n % uint64(p.n))
+	p.pool.Put(c)
+	return i
+}
+
+// Size returns the shard count.
+func (p *Picker) Size() int { return p.n }

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by ShardSet.Do after Close.
+var ErrClosed = errors.New("engine: use after Close")
+
+// ShardSet is the engine runtime's primitive for sharded resources that
+// serve request/response work rather than refillable streams (a set of
+// Falcon signers over one key, for instance): a fixed set of
+// exclusively-locked values with a striped round-robin pick and a
+// lifecycle gate.  It replaces the hand-rolled shard-struct + mutex +
+// atomic-counter pattern that used to be copied between pool
+// implementations.
+type ShardSet[T any] struct {
+	elems  []*shardElem[T]
+	picker *Picker
+	closed atomic.Bool
+}
+
+type shardElem[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewShardSet wraps items (one shard each, order preserved).
+func NewShardSet[T any](items []T) *ShardSet[T] {
+	s := &ShardSet[T]{picker: NewPicker(len(items))}
+	for _, v := range items {
+		s.elems = append(s.elems, &shardElem[T]{v: v})
+	}
+	return s
+}
+
+// Do picks a shard round-robin, locks it, and runs fn on its value.
+// Safe for any number of concurrent callers; after Close it returns
+// ErrClosed without touching a shard.
+func (s *ShardSet[T]) Do(fn func(T) error) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	e := s.elems[s.picker.Pick()]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn(e.v)
+}
+
+// Each locks every shard in turn and runs fn on its value — the ledger
+// aggregation path (summing per-shard counters).  Usable after Close.
+func (s *ShardSet[T]) Each(fn func(T)) {
+	for _, e := range s.elems {
+		e.mu.Lock()
+		fn(e.v)
+		e.mu.Unlock()
+	}
+}
+
+// Size returns the shard count.
+func (s *ShardSet[T]) Size() int { return len(s.elems) }
+
+// Close gates the set: Do calls that start afterwards fail with
+// ErrClosed.  In-flight Do calls finish normally.  Closing twice is
+// harmless.
+func (s *ShardSet[T]) Close() { s.closed.Store(true) }

@@ -4,33 +4,36 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"ctgauss/internal/engine"
 )
 
 // SignerPool is the concurrent serving form of Signer: a fixed set of
 // shards over one private key, each an independent Signer with its own
 // domain-separated PRNG streams (base sampler and salt).  Sign is safe
-// for any number of concurrent callers; requests round-robin across
-// shards, so with at least as many shards as active goroutines they
-// rarely contend.  Verify needs no signer state and never blocks on one.
+// for any number of concurrent callers; requests spread across shards
+// through the engine runtime's striped round-robin pick, so with at
+// least as many shards as active goroutines they rarely contend.
+// Verify needs no signer state and never blocks on one.
 //
-// The construction mirrors ctgauss.Pool: shard i's seed is derived from
-// the pool seed by hashing with a fixed domain-separation label and the
-// shard index, so one master seed yields independent signing streams —
-// in particular, independent salts, which keeps concurrent signatures
-// over one key distinct.
+// The shard machinery is engine.ShardSet — the same runtime that backs
+// ctgauss.Pool's refill rings — rather than a hand-rolled mutex/counter
+// copy.  Shard i's seed is derived from the pool seed by hashing with a
+// fixed domain-separation label and the shard index, so one master seed
+// yields independent signing streams — in particular, independent
+// salts, which keeps concurrent signatures over one key distinct.
+//
+// Close gates the pool: Sign calls that start afterwards fail with
+// ErrPoolClosed.  Signers own no background goroutines, so Close frees
+// nothing else; it exists so serving layers can fence signing at drain
+// time with the same lifecycle call the sampling pools use.
 type SignerPool struct {
 	pk     *PublicKey
-	shards []*signerShard
-	ctr    atomic.Uint64
+	shards *engine.ShardSet[*Signer]
 }
 
-// signerShard serializes access to one underlying signer.
-type signerShard struct {
-	mu sync.Mutex
-	s  *Signer
-}
+// ErrPoolClosed is returned by Sign after Close.
+var ErrPoolClosed = engine.ErrClosed
 
 // NewSignerPool builds a serving pool over sk using the chosen Table-1
 // base sampler.  parallelism is the shard count: 0 means
@@ -40,15 +43,15 @@ func NewSignerPool(sk *PrivateKey, kind BaseSamplerKind, seed []byte, parallelis
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	p := &SignerPool{pk: sk.Public(), shards: make([]*signerShard, parallelism)}
-	for i := range p.shards {
+	signers := make([]*Signer, parallelism)
+	for i := range signers {
 		s, err := NewSignerWithKind(sk, kind, signerShardSeed(seed, i))
 		if err != nil {
 			return nil, err
 		}
-		p.shards[i] = &signerShard{s: s}
+		signers[i] = s
 	}
-	return p, nil
+	return &SignerPool{pk: sk.Public(), shards: engine.NewShardSet(signers)}, nil
 }
 
 // signerShardSeed derives shard i's seed from the pool seed with domain
@@ -63,19 +66,19 @@ func signerShardSeed(seed []byte, shard int) []byte {
 	return h.Sum(nil)
 }
 
-// pick selects the next shard round-robin.
-func (p *SignerPool) pick() *signerShard {
-	return p.shards[p.ctr.Add(1)%uint64(len(p.shards))]
-}
-
 // Sign produces a signature for msg on one shard.  Safe for concurrent
-// use.
+// use.  After Close it fails with ErrPoolClosed.
 func (p *SignerPool) Sign(msg []byte) (*Signature, error) {
-	sh := p.pick()
-	sh.mu.Lock()
-	sig, err := sh.s.Sign(msg)
-	sh.mu.Unlock()
-	return sig, err
+	var sig *Signature
+	err := p.shards.Do(func(s *Signer) error {
+		var e error
+		sig, e = s.Sign(msg)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sig, nil
 }
 
 // Verify checks sig over msg against the pool's public key.  It touches
@@ -88,16 +91,17 @@ func (p *SignerPool) Verify(msg []byte, sig *Signature) error {
 func (p *SignerPool) Public() *PublicKey { return p.pk }
 
 // Size returns the shard count.
-func (p *SignerPool) Size() int { return len(p.shards) }
+func (p *SignerPool) Size() int { return p.shards.Size() }
+
+// Close gates the pool: new Sign calls fail with ErrPoolClosed while
+// in-flight ones finish.  Verify, Public, Size and Attempts keep
+// working.  Closing twice is harmless.
+func (p *SignerPool) Close() { p.shards.Close() }
 
 // Attempts reports norm-rejection restarts summed across shards
 // (diagnostics, mirroring Signer.Attempts).
 func (p *SignerPool) Attempts() uint64 {
 	var total uint64
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		total += sh.s.Attempts
-		sh.mu.Unlock()
-	}
+	p.shards.Each(func(s *Signer) { total += s.Attempts })
 	return total
 }

@@ -99,3 +99,29 @@ func TestSignerPoolVerifyRejectsTampered(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSignerPoolClose pins the lifecycle gate: Sign after Close fails
+// with ErrPoolClosed, while verification (stateless) keeps working.
+func TestSignerPoolClose(t *testing.T) {
+	sk := testKey(t, 256)
+	pool, err := NewSignerPool(sk, BaseBitsliced, []byte("close-seed"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("last words")
+	sig, err := pool.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Sign(msg); err != ErrPoolClosed {
+		t.Fatalf("Sign after Close: %v, want ErrPoolClosed", err)
+	}
+	if err := pool.Verify(msg, sig); err != nil {
+		t.Fatalf("Verify after Close: %v", err)
+	}
+	if pool.Attempts() == 0 {
+		t.Fatal("Attempts ledger unreadable after Close")
+	}
+}

@@ -1,106 +1,57 @@
 package server
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"ctgauss"
 )
 
 // coalescer adapts a batch-oriented ctgauss.Pool to per-request sample
-// counts.  The pool's native granularity is a 64-sample batch and its
-// engine refills width×64 samples per circuit evaluation; the coalescer
-// maintains one shared stream cursor with a leftover buffer, so
-// concurrent small requests are served consecutive slices of the same
-// refill instead of each spending a batch (or worse, a refill) of their
-// own.  With W=8 shard refills, 32 concurrent 16-sample requests cost
-// one evaluation, not 32.
+// counts.  Since the pool moved onto the unified refill runtime
+// (internal/engine), the coalescer no longer keeps a stream cursor or
+// leftover buffer of its own: Pool.Take serves any length exactly from
+// the engine rings, handing out consecutive zero-copy slices of
+// completed refills, so concurrent small requests share refills by
+// construction — 32 concurrent 16-sample requests consume 512
+// consecutive samples, one 512-lane evaluation's worth, not 32 separate
+// batches.  Absent concurrent requests the served stream is exactly the
+// Pool.NextBatch sequence a direct caller would draw, which the
+// bit-identity integration test pins.
 //
-// The cursor mutex only covers leftover handout (a memcpy) plus at most
-// one 64-sample refill per acquisition; requests needing whole batches
-// draw them from the pool outside the lock, so large concurrent
-// requests spread across the pool's shards instead of serializing on
-// the cursor.  Absent concurrent requests the draw order is exactly
-// leftover → full batches → tail, i.e. the same Pool.NextBatch sequence
-// a direct caller would make: sequential responses concatenate to the
-// bit-identical stream, which the integration tests pin.
+// What remains here is the per-σ binding the /metrics scrape reads:
+// the σ label, the circuit stats fixed at startup, and the pool whose
+// unified engine ledger (batches, refills, prefetch hits) sigmaStats
+// snapshots.
 type coalescer struct {
 	sigma string
 	pool  *ctgauss.Pool
 	stats ctgauss.Stats
-
-	mu   sync.Mutex
-	buf  []int // one 64-sample batch
-	left []int // unconsumed tail of buf, in stream order
-
-	batches atomic.Uint64 // NextBatch calls made against the pool
-	samples atomic.Uint64 // samples handed to clients
 }
 
 func newCoalescer(sigma string, pool *ctgauss.Pool) *coalescer {
-	return &coalescer{sigma: sigma, pool: pool, stats: pool.Stats(), buf: make([]int, 64)}
+	return &coalescer{sigma: sigma, pool: pool, stats: pool.Stats()}
 }
 
-// draw fills out with the next len(out) samples of the shared stream.
+// draw fills out with the next len(out) samples of the pool's streams.
 func (c *coalescer) draw(out []int) {
-	n := 0
-	c.mu.Lock()
-	if len(c.left) > 0 {
-		k := copy(out, c.left)
-		c.left = c.left[k:]
-		n += k
-	}
-	full := (len(out) - n) / 64
-	c.mu.Unlock()
-
-	// Whole batches never touch the cursor: draw them lock-free so the
-	// pool's shards serve concurrent large requests in parallel.
-	for i := 0; i < full; i++ {
-		c.pool.NextBatch(out[n : n+64])
-		n += 64
-	}
-	if full > 0 {
-		c.batches.Add(uint64(full))
-	}
-
-	// Sub-batch tail: back under the cursor so the remainder of its
-	// refill coalesces with other small requests.
-	if n < len(out) {
-		c.mu.Lock()
-		for n < len(out) {
-			if len(c.left) == 0 {
-				c.pool.NextBatch(c.buf)
-				c.batches.Add(1)
-				c.left = c.buf
-			}
-			k := copy(out[n:], c.left)
-			n += k
-			c.left = c.left[k:]
-		}
-		c.mu.Unlock()
-	}
-	c.samples.Add(uint64(len(out)))
-}
-
-// refills reports how many circuit evaluations the pool has run, derived
-// exactly from its randomness ledger: every refill consumes
-// BitsPerBatch×BatchesPerRefill bits and nothing else draws from the
-// shard streams.
-func (c *coalescer) refills() uint64 {
-	perRefill := uint64(c.stats.BitsPerBatch) * uint64(c.stats.BatchesPerRefill)
-	if perRefill == 0 {
-		return 0
-	}
-	return c.pool.BitsUsed() / perRefill
+	c.pool.Take(out)
 }
 
 func (c *coalescer) sigmaStats() sigmaStats {
+	es := c.pool.EngineStats()
 	return sigmaStats{
-		sigma:            c.sigma,
-		batches:          c.batches.Load(),
-		refills:          c.refills(),
-		samples:          c.samples.Load(),
+		sigma: c.sigma,
+		// One "batch" is the pool's native 64-sample granularity; the
+		// engine ledger counts samples exactly, so the derived batch
+		// counter advances once per 64 consumed — and refills started ×
+		// batches-per-refill reconciles with it, as the coalescing test
+		// pins.
+		batches:          es.SamplesServed / 64,
+		refills:          es.RefillsStarted,
+		samples:          es.SamplesServed,
 		batchesPerRefill: c.stats.BatchesPerRefill,
-		shards:           c.pool.Size(),
+		shards:           es.Shards,
+		prefetch:         es.Prefetch,
+		refillsProduced:  es.RefillsProduced,
+		prefetchHits:     es.PrefetchHits,
+		prefetchMisses:   es.PrefetchMisses,
 	}
 }

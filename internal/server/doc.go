@@ -5,21 +5,25 @@
 // The package is the glue between stateless HTTP requests and the
 // stateful batch-oriented backends:
 //
-//   - /v1/samples draws from per-σ ctgauss.Pool instances through a
-//     coalescer, so concurrent small requests share circuit refills
-//     instead of each spending one (the wide-lane engine produces
-//     width×64 samples per evaluation; the coalescer hands them out
-//     request by request in stream order).
+//   - /v1/samples draws from per-σ ctgauss.Pool instances, which run on
+//     the unified refill runtime (internal/engine): background producers
+//     evaluate circuits ahead of demand and Pool.Take serves each
+//     request an exact slice of the refill stream, so concurrent small
+//     requests share refills by construction — the coalescers keep no
+//     cursor or leftover buffer of their own, only the per-σ ledger the
+//     /metrics scrape reads.
 //   - /v1/falcon/sign and /v1/falcon/verify run on a sharded
 //     falcon.SignerPool over the daemon's key.
 //   - /healthz reports liveness and configuration; /metrics exports
 //     Prometheus-text counters (requests, samples, batches, refills,
-//     latency quantiles) that reconcile with cmd/ctgaussload reports.
+//     prefetch hits/misses, latency quantiles) that reconcile with
+//     cmd/ctgaussload reports.
 //
 // Every endpoint sits behind a drain gate (Server.Drain stops intake and
 // waits for in-flight requests — graceful shutdown) and a per-endpoint
 // bounded admission queue (overload returns 429 instead of queueing
-// unboundedly).
+// unboundedly).  Server.Close drains and then stops the engines'
+// producer goroutines — the SIGTERM path in cmd/ctgaussd.
 //
 // cmd/ctgaussd wires this package to a net/http server and POSIX
 // signals; cmd/ctgaussload drives it and reports throughput (RunLoad).

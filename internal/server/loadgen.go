@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -69,6 +70,15 @@ type LoadReport struct {
 	RequestsPerSecond float64        `json:"requests_per_second"`
 	SamplesPerSecond  float64        `json:"samples_per_second"`
 	Latency           LatencySummary `json:"latency"`
+
+	// Prefetch telemetry, reconciled against the daemon's /metrics after
+	// the run: hits and misses are the sums of
+	// ctgaussd_prefetch_{hits,misses}_total over every served σ, and the
+	// ratio is hits/(hits+misses) — how often a draw found its refill
+	// already evaluated by the engine's background producers.
+	PrefetchHits     uint64  `json:"prefetch_hits"`
+	PrefetchMisses   uint64  `json:"prefetch_misses"`
+	PrefetchHitRatio float64 `json:"prefetch_hit_ratio"`
 }
 
 // loadWorker accumulates one client's counts (merged after the run).
@@ -198,7 +208,56 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		report.SamplesPerSecond = float64(report.Samples) / elapsed.Seconds()
 	}
 	report.Latency = summarize(lats)
+	// Reconcile the prefetch ledger against the daemon's own /metrics (a
+	// daemon that doesn't expose the series — or is unreachable now —
+	// just leaves the fields zero; the load counters above are already
+	// complete).
+	if hits, misses, err := scrapePrefetch(client, cfg.BaseURL); err == nil {
+		report.PrefetchHits, report.PrefetchMisses = hits, misses
+		if total := hits + misses; total > 0 {
+			report.PrefetchHitRatio = float64(hits) / float64(total)
+		}
+	}
 	return report, nil
+}
+
+// scrapePrefetch sums the per-σ prefetch hit/miss counters from the
+// daemon's Prometheus exposition.
+func scrapePrefetch(client *http.Client, baseURL string) (hits, misses uint64, err error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var name string
+		switch {
+		case strings.HasPrefix(line, "ctgaussd_prefetch_hits_total{"):
+			name = "hits"
+		case strings.HasPrefix(line, "ctgaussd_prefetch_misses_total{"):
+			name = "misses"
+		default:
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, perr := strconv.ParseUint(fields[1], 10, 64)
+		if perr != nil {
+			continue
+		}
+		if name == "hits" {
+			hits += v
+		} else {
+			misses += v
+		}
+	}
+	return hits, misses, nil
 }
 
 // errHTTP marks a non-2xx response (the body's error message, if any).

@@ -97,14 +97,18 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 }
 
 // sigmaStats is the per-σ pool telemetry joined into the scrape by the
-// server (batch and refill counts live on the coalescers).
+// server, read from the pool engine's unified ledger by the coalescers.
 type sigmaStats struct {
 	sigma            string
 	batches          uint64
-	refills          uint64
+	refills          uint64 // refills whose consumption began (sync-equivalent evaluations)
 	samples          uint64
 	batchesPerRefill int
 	shards           int
+	prefetch         int    // configured lookahead depth (0 = synchronous)
+	refillsProduced  uint64 // fills completed, including unconsumed lookahead
+	prefetchHits     uint64
+	prefetchMisses   uint64
 }
 
 // writePrometheus renders the whole counter set in Prometheus text
@@ -161,17 +165,17 @@ func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStat
 	fmt.Fprintf(w, "ctgaussd_verifies_total %d\n", m.verifies.Load())
 
 	sort.Slice(sigmas, func(i, j int) bool { return sigmas[i].sigma < sigmas[j].sigma })
-	fmt.Fprintln(w, "# HELP ctgaussd_batches_total 64-sample batches drawn from the pool per sigma.")
+	fmt.Fprintln(w, "# HELP ctgaussd_batches_total 64-sample batches consumed from the pool's engine per sigma (served samples / 64).")
 	fmt.Fprintln(w, "# TYPE ctgaussd_batches_total counter")
 	for _, s := range sigmas {
 		fmt.Fprintf(w, "ctgaussd_batches_total{sigma=%q} %d\n", s.sigma, s.batches)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_refills_total Circuit evaluations (randomness refills) per sigma.")
+	fmt.Fprintln(w, "# HELP ctgaussd_refills_total Circuit evaluations whose output entered the served stream per sigma (prefetch lookahead counts on first consumption; see _refills_produced_total).")
 	fmt.Fprintln(w, "# TYPE ctgaussd_refills_total counter")
 	for _, s := range sigmas {
 		fmt.Fprintf(w, "ctgaussd_refills_total{sigma=%q} %d\n", s.sigma, s.refills)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_pool_samples_total Samples drawn per sigma (batches x 64 minus buffered leftover is what clients saw).")
+	fmt.Fprintln(w, "# HELP ctgaussd_pool_samples_total Samples consumed from the pool's engine per sigma (exactly what clients were served).")
 	fmt.Fprintln(w, "# TYPE ctgaussd_pool_samples_total counter")
 	for _, s := range sigmas {
 		fmt.Fprintf(w, "ctgaussd_pool_samples_total{sigma=%q} %d\n", s.sigma, s.samples)
@@ -185,6 +189,26 @@ func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStat
 	fmt.Fprintln(w, "# TYPE ctgaussd_pool_shards gauge")
 	for _, s := range sigmas {
 		fmt.Fprintf(w, "ctgaussd_pool_shards{sigma=%q} %d\n", s.sigma, s.shards)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_prefetch_depth Configured refill lookahead per shard (0 = synchronous refill).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_depth gauge")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_prefetch_depth{sigma=%q} %d\n", s.sigma, s.prefetch)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_refills_produced_total Circuit evaluations completed by the refill producers, including lookahead not yet consumed (>= ctgaussd_refills_total).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_refills_produced_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_refills_produced_total{sigma=%q} %d\n", s.sigma, s.refillsProduced)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_prefetch_hits_total Draws served without waiting for a refill (the engine ring held data).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_hits_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_prefetch_hits_total{sigma=%q} %d\n", s.sigma, s.prefetchHits)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_prefetch_misses_total Draws that waited on a producer (async) or evaluated inline (sync).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_misses_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_prefetch_misses_total{sigma=%q} %d\n", s.sigma, s.prefetchMisses)
 	}
 
 	if arb != nil {

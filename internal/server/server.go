@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"slices"
 	"sync"
 	"time"
 
@@ -31,6 +32,15 @@ type Config struct {
 	// PRNG selects the pool generator: "chacha20" (default), "shake256",
 	// "aes-ctr".
 	PRNG string
+	// Prefetch is the refill lookahead per pool shard on the engine
+	// runtime: 0 = the pool default (double buffering), negative =
+	// synchronous refill under the shard lock, positive = that many
+	// refills of lookahead.  It also applies to the arbitrary layer's
+	// base-draw streams.  Served streams are bit-identical at any
+	// setting.
+	Prefetch int
+	// PrefetchBySigma overrides Prefetch per served σ (same encoding).
+	PrefetchBySigma map[string]int
 
 	// FalconKey, when set, is the signing key served by the Falcon
 	// endpoints.  Otherwise a key is generated deterministically from
@@ -87,9 +97,10 @@ type Server struct {
 	handler      http.Handler
 	start        time.Time
 
-	mu       sync.Mutex
-	draining bool
-	inflight sync.WaitGroup
+	mu        sync.Mutex
+	draining  bool
+	inflight  sync.WaitGroup
+	closeOnce sync.Once
 
 	// testHook, when set, runs inside every admitted request after the
 	// admission queue slot is taken — test instrumentation for drain and
@@ -149,14 +160,27 @@ func New(cfg Config) (*Server, error) {
 		queues:       make(map[string]chan struct{}),
 		start:        time.Now(),
 	}
+	// Catch per-σ prefetch overrides that name no served σ (a typo'd or
+	// differently spelled value would otherwise leave that pool silently
+	// running in the wrong refill mode).
+	for sigma := range cfg.PrefetchBySigma {
+		if !slices.Contains(cfg.Sigmas, sigma) {
+			return nil, fmt.Errorf("server: PrefetchBySigma names σ %q, which is not served (sigmas: %v)", sigma, cfg.Sigmas)
+		}
+	}
 	for _, sigma := range cfg.Sigmas {
 		if _, dup := s.co[sigma]; dup {
 			return nil, fmt.Errorf("server: sigma %q listed twice", sigma)
 		}
+		prefetch := cfg.Prefetch
+		if p, ok := cfg.PrefetchBySigma[sigma]; ok {
+			prefetch = p
+		}
 		pool, err := ctgauss.NewPoolWithConfig(ctgauss.Config{
-			Sigma: sigma,
-			Seed:  PoolSeed(cfg.Seed, sigma),
-			PRNG:  cfg.PRNG,
+			Sigma:    sigma,
+			Seed:     PoolSeed(cfg.Seed, sigma),
+			PRNG:     cfg.PRNG,
+			Prefetch: prefetch,
 		}, cfg.PoolShards)
 		if err != nil {
 			return nil, fmt.Errorf("server: building σ=%s pool: %w", sigma, err)
@@ -170,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 			Shards:     cfg.ArbitraryShards,
 			Seed:       ArbitrarySeed(cfg.Seed),
 			PRNG:       cfg.PRNG,
+			Prefetch:   cfg.Prefetch,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: building arbitrary base set: %w", err)
@@ -235,6 +260,27 @@ func (s *Server) FalconEnabled() bool { return s.signers != nil }
 func (s *Server) Drain() {
 	s.stopAccepting()
 	s.inflight.Wait()
+}
+
+// Close drains the server and then releases the refill runtime: the
+// sampling pools' and arbitrary layer's background producer goroutines
+// stop, and the signer pool is gated.  The drain-first ordering is what
+// makes engine shutdown safe — no request can be mid-draw when the
+// rings close.  /metrics and /healthz stay readable (their ledgers are
+// snapshots).  Closing twice is harmless.
+func (s *Server) Close() {
+	s.Drain()
+	s.closeOnce.Do(func() {
+		for _, co := range s.co {
+			co.pool.Close()
+		}
+		if s.arb != nil {
+			s.arb.arb.Close()
+		}
+		if s.signers != nil {
+			s.signers.Close()
+		}
+	})
 }
 
 func (s *Server) stopAccepting() {
@@ -515,6 +561,9 @@ type healthResponse struct {
 	Sigmas        []string `json:"sigmas"`
 	DefaultSigma  string   `json:"default_sigma"`
 	PoolShards    int      `json:"pool_shards"`
+	// Prefetch is the default-σ pool's resolved refill lookahead depth
+	// (0 = synchronous refill).
+	Prefetch int `json:"prefetch"`
 	// Arbitrary describes the free-form-(σ, μ) layer when enabled: its
 	// base set and the admissible σ range.
 	Arbitrary         bool     `json:"arbitrary"`
@@ -536,6 +585,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Sigmas:        s.cfg.Sigmas,
 		DefaultSigma:  s.defaultSigma,
 		PoolShards:    s.co[s.defaultSigma].pool.Size(),
+		Prefetch:      s.co[s.defaultSigma].pool.EngineStats().Prefetch,
 	}
 	if s.arb != nil {
 		resp.Arbitrary = true

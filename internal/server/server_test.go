@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -57,6 +58,7 @@ func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Serve
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close) // runs after ts.Close (LIFO): drain, then stop the engines
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -941,5 +943,106 @@ func TestFreeformSigmaOnSamples(t *testing.T) {
 	}
 	if report.Errors != 0 || report.ArbitrarySamples != 2*3*16 {
 		t.Fatalf("arbitrary load report: %+v", report)
+	}
+}
+
+// TestServerCloseReleasesEngines pins the SIGTERM path end to end:
+// Close drains, stops every background refill producer the pools and
+// the arbitrary layer own, and gates the signer pool — while /metrics
+// and /healthz stay readable for a final scrape.
+func TestServerCloseReleasesEngines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, ts := newTestServer(t, func(c *Config) { c.PoolShards = 2 })
+	drawSamples(t, ts.URL, 100)
+
+	s.Close()
+	s.Close() // idempotent
+	// New requests bounce off the drain gate with 503 — they never reach
+	// the closed engines.
+	resp, _ := postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 4})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close request: status %d, want 503", resp.StatusCode)
+	}
+	if v := scrapeMetric(t, ts.URL, `ctgaussd_pool_samples_total{sigma="2"}`); v != 100 {
+		t.Fatalf("ledger unreadable after Close: %v", v)
+	}
+	ts.Close()
+	// The producers (pool shards + arbitrary base streams) must all be
+	// gone; give httptest's own connection goroutines a moment too.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines alive after Close, started with %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPrefetchMetricsAndLoadReconcile pins the prefetch telemetry: the
+// per-σ hit/miss counters appear in /metrics, reconcile into the load
+// generator's report, and the synchronous configuration reports a zero
+// hit ratio ceiling on cold draws while the async default warms up.
+func TestPrefetchMetricsAndLoadReconcile(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+	})
+	report, err := RunLoad(LoadConfig{BaseURL: ts.URL, Mode: "samples", Clients: 4, Requests: 25, Count: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load errors: %+v", report)
+	}
+	hits := scrapeMetric(t, ts.URL, `ctgaussd_prefetch_hits_total{sigma="2"}`)
+	misses := scrapeMetric(t, ts.URL, `ctgaussd_prefetch_misses_total{sigma="2"}`)
+	if hits+misses == 0 {
+		t.Fatal("no prefetch ledger activity recorded")
+	}
+	if float64(report.PrefetchHits) != hits || float64(report.PrefetchMisses) != misses {
+		t.Fatalf("report hits/misses %d/%d do not reconcile with metrics %v/%v",
+			report.PrefetchHits, report.PrefetchMisses, hits, misses)
+	}
+	if want := hits / (hits + misses); report.PrefetchHitRatio != want {
+		t.Fatalf("report hit ratio %v, metrics-derived %v", report.PrefetchHitRatio, want)
+	}
+	if scrapeMetric(t, ts.URL, `ctgaussd_prefetch_depth{sigma="2"}`) != float64(ctgauss.DefaultPrefetch) {
+		t.Fatal("default prefetch depth not exposed")
+	}
+	produced := scrapeMetric(t, ts.URL, `ctgaussd_refills_produced_total{sigma="2"}`)
+	started := scrapeMetric(t, ts.URL, `ctgaussd_refills_total{sigma="2"}`)
+	if produced < started {
+		t.Fatalf("produced %v < started %v", produced, started)
+	}
+
+	// Synchronous config: depth 0 exposed, every cold draw is a miss.
+	_, tsSync := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.Prefetch = -1
+		c.PrefetchBySigma = map[string]int{"2": -1}
+	})
+	drawSamples(t, tsSync.URL, 64)
+	if v := scrapeMetric(t, tsSync.URL, `ctgaussd_prefetch_depth{sigma="2"}`); v != 0 {
+		t.Fatalf("sync prefetch depth = %v, want 0", v)
+	}
+	if v := scrapeMetric(t, tsSync.URL, `ctgaussd_prefetch_misses_total{sigma="2"}`); v == 0 {
+		t.Fatal("sync pool recorded no inline-fill misses")
+	}
+	hr := getHealth(t, tsSync.URL)
+	if hr.Prefetch != 0 {
+		t.Fatalf("healthz prefetch = %d, want 0 for sync", hr.Prefetch)
+	}
+
+	// A per-σ override naming an unserved σ (a typo, or a different
+	// decimal spelling) is a construction error, not a silent no-op.
+	_, err = New(Config{
+		Sigmas:           []string{"2"},
+		PoolShards:       1,
+		DisableArbitrary: true,
+		PrefetchBySigma:  map[string]int{"2.0": -1},
+	})
+	if err == nil {
+		t.Fatal("PrefetchBySigma naming an unserved σ was accepted")
 	}
 }

@@ -17,6 +17,7 @@ func TestPoolSamplesInSupport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	if p.Size() != 4 {
 		t.Fatalf("Size = %d, want 4", p.Size())
 	}
@@ -48,6 +49,7 @@ func TestPoolConcurrentNextBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	support := p.Stats().Support
 	const goroutines = 16
 	const batchesEach = 200
@@ -96,22 +98,39 @@ func TestPoolConcurrentNextBatch(t *testing.T) {
 	}
 }
 
-// TestPoolDeterministicFromSeed: with a fixed seed and single-goroutine
-// use, two identically configured pools produce identical streams.
+// TestPoolDeterministicFromSeed: with a fixed seed, two identically
+// configured pools produce identical per-shard streams, and with one
+// shard the whole Next sequence is identical.  (The cross-shard
+// interleave of a multi-shard pool is unspecified — the striped pick
+// trades that guarantee for contention-free sharding — so determinism
+// is pinned where it is defined: per shard, and for the single-shard
+// sequence.)
 func TestPoolDeterministicFromSeed(t *testing.T) {
-	mk := func() *ctgauss.Pool {
+	mk := func(shards int) *ctgauss.Pool {
 		cfg := poolCfg
 		cfg.Seed = []byte("pool-determinism")
-		p, err := ctgauss.NewPoolWithConfig(cfg, 3)
+		p, err := ctgauss.NewPoolWithConfig(cfg, shards)
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(p.Close)
 		return p
 	}
-	a, b := mk(), mk()
+	a, b := mk(1), mk(1)
 	for i := 0; i < 1000; i++ {
 		if av, bv := a.Next(), b.Next(); av != bv {
 			t.Fatalf("sample %d: %d vs %d", i, av, bv)
+		}
+	}
+	ma, mb := mk(3), mk(3)
+	for shard := 0; shard < 3; shard++ {
+		sa, sb := make([]int, 300), make([]int, 300)
+		ma.TakeFromShard(shard, sa)
+		mb.TakeFromShard(shard, sb)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("shard %d sample %d: %d vs %d", shard, i, sa[i], sb[i])
+			}
 		}
 	}
 }
@@ -123,19 +142,13 @@ func TestPoolShardsIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Round-robin over 2 shards: even draws hit one shard, odd the other.
-	var even, odd []int
-	for i := 0; i < 256; i++ {
-		v := p.Next()
-		if i%2 == 0 {
-			even = append(even, v)
-		} else {
-			odd = append(odd, v)
-		}
-	}
+	defer p.Close()
+	s0, s1 := make([]int, 256), make([]int, 256)
+	p.TakeFromShard(0, s0)
+	p.TakeFromShard(1, s1)
 	same := true
-	for i := range even {
-		if even[i] != odd[i] {
+	for i := range s0 {
+		if s0[i] != s1[i] {
 			same = false
 			break
 		}
@@ -157,6 +170,7 @@ func TestPoolCompiledPathMatchesInterpreter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	var sq float64
 	const n = 1 << 15
 	for i := 0; i < n; i++ {
