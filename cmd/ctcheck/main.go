@@ -1,111 +1,163 @@
-// Command ctcheck runs the dudect-style constant-time analysis the paper
-// applies to its sampler (§5.2): Welch's t-test between timing classes,
-// plus the deterministic work-count analysis, for the bitsliced sampler
-// and the CDT baselines.
+// Command ctcheck is the acceptance-harness driver: the dudect-style
+// constant-time analysis the paper applies to its sampler (§5.2), the
+// statistical (σ, μ) grid cross-validated against the high-precision
+// bigfp reference, and the golden-vector stream pins — emitting one
+// machine-readable JSON report CI gates on (see docs/ACCEPTANCE.md).
 //
-// Usage:
+// Modes (combinable; default -ct, the historical behaviour):
 //
-//	ctcheck -measurements 5000
+//	ctcheck -ct                          constant-time pass (dudect + work counts)
+//	ctcheck -ct -sigma 2 -n 64           ... for one configuration
+//	ctcheck -grid                        full statistical grid, three surfaces
+//	ctcheck -grid -smoke                 budgeted PR grid
+//	ctcheck -golden verify               check pinned streams at every depth
+//	ctcheck -golden record               re-pin streams (intentional changes only)
+//	ctcheck -grid -ct -json report.json  machine-readable artifact; exit 1 on failure
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"ctgauss/internal/core"
-	"ctgauss/internal/ctcheck"
-	"ctgauss/internal/prng"
-	"ctgauss/internal/sampler"
+	"ctgauss/internal/acceptance"
+	"ctgauss/internal/sampler/gen"
 )
 
 func main() {
-	meas := flag.Int("measurements", 4000, "timing samples per class")
-	flag.Parse()
+	var (
+		grid    = flag.Bool("grid", false, "run the statistical (σ, μ) grid over all serving surfaces")
+		golden  = flag.String("golden", "", "golden-vector mode: record or verify")
+		ct      = flag.Bool("ct", false, "run the constant-time pass (default when no mode is given)")
+		smoke   = flag.Bool("smoke", false, "budgeted pass: fewer cells, fewer samples, fewer measurements")
+		jsonOut = flag.String("json", "", "write the machine-readable report to this path (- for stdout)")
 
-	b, err := core.Build(core.Config{Sigma: "2", N: 128, TailCut: 13, Min: core.MinimizeExact})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		sigmas  = flag.String("sigma", "", "comma-separated σ list for -ct (default: all registry-served σ)")
+		n       = flag.Int("n", 128, "probability precision bits for -ct builds")
+		tailcut = flag.Float64("tailcut", 13, "tail cut τ for -ct builds")
+		meas    = flag.Int("measurements", 0, "timing samples per dudect class (0 = mode default)")
+
+		samples    = flag.Int("samples", 0, "samples per grid cell (0 = mode default)")
+		goldenFile = flag.String("golden-file", "internal/acceptance/testdata/golden.json", "golden vector file")
+	)
+	flag.Parse()
+	if !*grid && *golden == "" && !*ct {
+		*ct = true
+	}
+
+	// Human-readable progress moves to stderr when the JSON report owns
+	// stdout, so `ctcheck -json - | jq` stays parseable.
+	hout := os.Stdout
+	if *jsonOut == "-" {
+		hout = os.Stderr
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(hout, format+"\n", args...) }
+	rep := &acceptance.Report{Smoke: *smoke}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ctcheck:", err)
 		os.Exit(1)
 	}
 
-	fmt.Println("dudect-style timing analysis (classes: two fixed PRNG seeds)")
-	fmt.Println("|t| >", ctcheck.Threshold, "indicates a timing leak; wall-clock noise under a GC runtime")
-	fmt.Println("makes the deterministic work-count analysis below the stronger evidence.")
-	fmt.Println()
-
-	timing := func(name string, mk func(seed string) func()) {
-		r := ctcheck.CompareTiming(mk("class-A-seed"), mk("class-B-seed"),
-			ctcheck.Options{Measurements: *meas, InnerReps: 16})
-		fmt.Printf("  %-22s %s\n", name, r)
-	}
-	timing("bitsliced (this work)", func(seed string) func() {
-		s := b.NewSampler(prng.MustChaCha20([]byte(seed)))
-		dst := make([]int, 64)
-		return func() { s.NextBatch(dst) }
-	})
-	timing("cdt-bytescan [13]", func(seed string) func() {
-		s := sampler.NewByteScanCDT(b.Table, prng.MustChaCha20([]byte(seed)))
-		return func() {
-			for i := 0; i < 64; i++ {
-				s.Next()
+	if *golden != "" {
+		rep.Modes = append(rep.Modes, "golden-"+*golden)
+		switch *golden {
+		case "record":
+			gf, err := acceptance.RecordGolden(*goldenFile)
+			if err != nil {
+				fail(err)
 			}
-		}
-	})
-	timing("cdt-linear-ct [7]", func(seed string) func() {
-		s := sampler.NewLinearCDT(b.Table, prng.MustChaCha20([]byte(seed)))
-		return func() {
-			for i := 0; i < 64; i++ {
-				s.Next()
+			fmt.Fprintf(hout, "recorded %d golden vectors to %s\n", len(gf.Vectors), *goldenFile)
+			for _, v := range gf.Vectors {
+				fmt.Fprintf(hout, "  %-26s %s…\n", v.Name, v.SHA256[:16])
+				rep.Golden = append(rep.Golden, acceptance.GoldenResult{
+					Name: v.Name, PRNG: v.PRNG, Width: v.Width, SHA256: v.SHA256, Pass: true,
+				})
 			}
-		}
-	})
-
-	fmt.Println()
-	fmt.Println("deterministic work-count analysis (10⁴ samples each):")
-
-	// Bitsliced: bits consumed per refill must be exactly constant.  The
-	// default sampler evaluates sampler.DefaultWidth batches per refill,
-	// so the draw cadence is one fixed block per width batches; width 1
-	// is the paper's per-batch form.  Both must be constant.
-	for _, width := range []int{1, sampler.DefaultWidth} {
-		s := b.NewWideSampler(prng.MustChaCha20([]byte("wc")), width)
-		var w ctcheck.WorkTrace
-		prev := uint64(0)
-		dst := make([]int, 64)
-		for i := 0; i < 200; i++ {
-			for j := 0; j < width; j++ {
-				s.NextBatch(dst)
+		case "verify":
+			fmt.Fprintln(hout, "golden-vector verification (every PRNG × width × prefetch depth):")
+			results, err := acceptance.VerifyGolden(*goldenFile)
+			if err != nil {
+				fail(err)
 			}
-			w.Record(s.BitsUsed() - prev)
-			prev = s.BitsUsed()
+			rep.Golden = results
+			for _, r := range results {
+				if r.Pass {
+					fmt.Fprintf(hout, "  %-26s ok at depths %v\n", r.Name, r.DepthsVerified)
+				} else {
+					fmt.Fprintf(hout, "  %-26s FAIL: %s\n", r.Name, r.Err)
+				}
+			}
+		default:
+			fail(fmt.Errorf("unknown -golden mode %q (want record or verify)", *golden))
 		}
-		fmt.Printf("  %-22s constant randomness per refill (width %d): %v (%d bits)\n",
-			"bitsliced (this work)", width, w.Constant(), w.Counts[0])
 	}
 
-	bs := sampler.NewByteScanCDT(b.Table, prng.MustChaCha20([]byte("wc2")))
-	var wb ctcheck.WorkTrace
-	secret := make([]float64, 0, 10000)
-	for i := 0; i < 10000; i++ {
-		before := bs.Steps
-		v := bs.Next()
-		if v < 0 {
-			v = -v
+	if *grid {
+		rep.Modes = append(rep.Modes, "grid")
+		kind := "full"
+		if *smoke {
+			kind = "smoke"
 		}
-		wb.Record(bs.Steps - before)
-		secret = append(secret, float64(v))
+		fmt.Fprintf(hout, "statistical grid (%s): compiled + convolved + http surfaces vs bigfp reference\n", kind)
+		g, err := acceptance.RunGrid(acceptance.GridOptions{
+			Smoke:          *smoke,
+			SamplesPerCell: *samples,
+			Logf:           logf,
+		})
+		if err != nil {
+			fail(err)
+		}
+		rep.Grid = g
+		fmt.Fprintf(hout, "grid: %d cells, pass=%v\n", len(g.Cells), g.Pass)
 	}
-	fmt.Printf("  %-22s constant work: %v, corr(work, |sample|) = %+.3f  ← leak\n",
-		"cdt-bytescan [13]", wb.Constant(), wb.Correlation(secret))
 
-	lin := sampler.NewLinearCDT(b.Table, prng.MustChaCha20([]byte("wc3")))
-	var wl ctcheck.WorkTrace
-	for i := 0; i < 10000; i++ {
-		before := lin.Steps
-		lin.Next()
-		wl.Record(lin.Steps - before)
+	if *ct {
+		rep.Modes = append(rep.Modes, "ct")
+		var sigmaList []string
+		if *sigmas != "" {
+			for _, s := range strings.Split(*sigmas, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					sigmaList = append(sigmaList, s)
+				}
+			}
+		} else if !*smoke {
+			sigmaList = gen.Sigmas()
+		}
+		fmt.Fprintln(hout, "dudect-style timing analysis + deterministic work counts")
+		fmt.Fprintln(hout, "(wall clock under a GC runtime is noisy; the work ledgers are the exact evidence)")
+		timing, work, err := acceptance.RunCT(acceptance.CTOptions{
+			Sigmas:       sigmaList,
+			N:            *n,
+			TailCut:      *tailcut,
+			Measurements: *meas,
+			Smoke:        *smoke,
+			Logf:         logf,
+		})
+		if err != nil {
+			fail(err)
+		}
+		rep.Timing, rep.Work = timing, work
 	}
-	fmt.Printf("  %-22s constant work: %v (%d table comparisons per sample)\n",
-		"cdt-linear-ct [7]", wl.Constant(), wl.Counts[0])
+
+	rep.Finalize()
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fail(err)
+		}
+	}
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "ctcheck: FAIL")
+		os.Exit(1)
+	}
+	fmt.Fprintln(hout, "ctcheck: PASS")
 }

@@ -16,6 +16,12 @@ import (
 // per-shard streams must equal a synchronous pool's exactly, whatever
 // sizes the takes fragment them into.  Prefetch moves evaluation
 // latency, never the stream.
+//
+// The acceptance golden set (internal/acceptance, testdata/golden.json)
+// pins the same cross-depth contract absolutely: every PRNG backend at
+// widths 1/4/8 is digest-verified at depths 0, 2 and 5 against one
+// recorded stream, so a depth-dependent divergence also fails golden
+// verification — see docs/ACCEPTANCE.md.
 func TestPoolAsyncMatchesSync(t *testing.T) {
 	cfgs := []ctgauss.Config{
 		{Sigma: "2", Precision: 48},

@@ -12,12 +12,36 @@ package bigfp
 
 import (
 	"fmt"
+	"math"
 	"math/big"
+	"sync"
 )
+
+// ln2Cache memoizes Ln2 per precision: ExpNeg needs ln 2 on every call,
+// and the acceptance grid evaluates the reference density thousands of
+// times per (σ, μ) cell at a handful of fixed precisions.
+var ln2Cache sync.Map // uint → *big.Float (immutable once stored)
 
 // Ln2 returns ln 2 computed to at least prec bits of precision using the
 // series ln 2 = Σ_{k≥1} 1/(k·2^k), which gains one bit per term.
+// Results are cached per precision; the returned value is the caller's
+// to mutate.
 func Ln2(prec uint) *big.Float {
+	return new(big.Float).Copy(ln2Shared(prec))
+}
+
+// ln2Shared returns the cached, shared ln 2 value; in-package callers
+// only read it.
+func ln2Shared(prec uint) *big.Float {
+	if v, ok := ln2Cache.Load(prec); ok {
+		return v.(*big.Float)
+	}
+	v := ln2Compute(prec)
+	ln2Cache.Store(prec, v)
+	return v
+}
+
+func ln2Compute(prec uint) *big.Float {
 	// Work with guard bits so the truncated tail cannot disturb the
 	// requested precision.
 	wp := prec + 32
@@ -52,7 +76,7 @@ func ExpNeg(t *big.Float, prec uint) *big.Float {
 		return big.NewFloat(1).SetPrec(prec)
 	}
 	wp := prec + 64
-	ln2 := Ln2(wp)
+	ln2 := ln2Shared(wp)
 
 	// k = floor(t / ln2)
 	q := new(big.Float).SetPrec(wp).Quo(t, ln2)
@@ -138,6 +162,110 @@ func FixedFromFloat(p *big.Float, n int) *big.Int {
 		panic("bigfp: negative probability")
 	}
 	return z
+}
+
+// GaussMu returns ρ_{σ,μ}(x) = exp(-(x-μ)²/(2σ²)) to prec bits, for any
+// integer x and real center μ.  This is the off-center generalization of
+// Gauss, needed by the acceptance harness's (σ, μ) grid cells.
+func GaussMu(x int64, sigma, mu *big.Float, prec uint) *big.Float {
+	wp := prec + 64
+	d := new(big.Float).SetPrec(wp).SetInt64(x)
+	d.Sub(d, mu)
+	num := new(big.Float).SetPrec(wp).Mul(d, d)
+	den := new(big.Float).SetPrec(wp).Mul(sigma, sigma)
+	den.Mul(den, big.NewFloat(2).SetPrec(wp))
+	arg := new(big.Float).SetPrec(wp).Quo(num, den)
+	return ExpNeg(arg, prec)
+}
+
+// PMF returns the probability mass function of the discrete Gaussian
+// D_{ℤ,σ,μ} restricted to the window [lo, hi], normalized over all of ℤ:
+// probs[i] = ρ_{σ,μ}(lo+i)/Z with Z = Σ_{z∈ℤ} ρ_{σ,μ}(z), plus the ideal
+// mass outside the window.  The normalizer extends the summation beyond
+// the window until further terms fall below 2^-(prec+32), so for the
+// harness's customary ±12σ windows the returned tail mass (≈ e^-72) is
+// exact to float64.
+//
+// This is the batch reference the acceptance grid cross-validates each
+// cell against: one call per (σ, μ) cell yields every expected bin
+// probability from the independent big-float pipeline, never from the
+// float64 math the samplers themselves are built on.
+func PMF(sigma, mu *big.Float, lo, hi int64, prec uint) (probs []float64, tail float64) {
+	if hi < lo {
+		panic("bigfp: PMF window is empty")
+	}
+	wp := prec + 64
+	window := make([]*big.Float, hi-lo+1)
+	in := new(big.Float).SetPrec(wp)
+	for x := lo; x <= hi; x++ {
+		window[x-lo] = GaussMu(x, sigma, mu, wp)
+		in.Add(in, window[x-lo])
+	}
+	// Extend outward until terms are negligible at the working precision.
+	// ρ decreases monotonically away from μ, so a single small term on a
+	// side bounds everything beyond it.
+	out := new(big.Float).SetPrec(wp)
+	cutoff := -int(prec + 32)
+	for x := lo - 1; ; x-- {
+		t := GaussMu(x, sigma, mu, wp)
+		out.Add(out, t)
+		if t.Sign() == 0 || t.MantExp(nil) < cutoff {
+			break
+		}
+	}
+	for x := hi + 1; ; x++ {
+		t := GaussMu(x, sigma, mu, wp)
+		out.Add(out, t)
+		if t.Sign() == 0 || t.MantExp(nil) < cutoff {
+			break
+		}
+	}
+	z := new(big.Float).SetPrec(wp).Add(in, out)
+	probs = make([]float64, len(window))
+	q := new(big.Float).SetPrec(wp)
+	for i, w := range window {
+		probs[i], _ = q.Quo(w, z).Float64()
+	}
+	tail, _ = q.Quo(out, z).Float64()
+	return probs, tail
+}
+
+// Moments returns the mean and variance of D_{ℤ,σ,μ} computed from the
+// high-precision PMF over a ±16σ window (mass beyond is < 2^-180, far
+// below float64 resolution).  The closed-form continuous moments (μ, σ²)
+// agree with these up to theta-function corrections of order
+// e^(-2π²σ²), so for σ ≥ 1 the discrete and continuous moments coincide
+// to ~10⁻⁸; below the smoothing parameter they visibly diverge — the
+// regime the acceptance tests pin.
+func Moments(sigma, mu *big.Float, prec uint) (mean, variance float64) {
+	wp := prec + 64
+	sf, _ := sigma.Float64()
+	mf, _ := mu.Float64()
+	span := int64(math.Ceil(16*sf)) + 2
+	lo := int64(math.Floor(mf)) - span
+	hi := int64(math.Ceil(mf)) + span
+	z := new(big.Float).SetPrec(wp)
+	m1 := new(big.Float).SetPrec(wp)
+	m2 := new(big.Float).SetPrec(wp)
+	xf := new(big.Float).SetPrec(wp)
+	t := new(big.Float).SetPrec(wp)
+	for x := lo; x <= hi; x++ {
+		w := GaussMu(x, sigma, mu, wp)
+		z.Add(z, w)
+		xf.SetInt64(x)
+		t.Mul(w, xf)
+		m1.Add(m1, t)
+		t.Mul(t, xf)
+		m2.Add(m2, t)
+	}
+	m1.Quo(m1, z)
+	m2.Quo(m2, z)
+	// variance = E[x²] − E[x]²
+	t.Mul(m1, m1)
+	m2.Sub(m2, t)
+	mean, _ = m1.Float64()
+	variance, _ = m2.Float64()
+	return mean, variance
 }
 
 // ParseSigma parses a decimal standard deviation (e.g. "6.15543") into a

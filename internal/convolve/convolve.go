@@ -424,6 +424,26 @@ func (s *Sampler) Plan(sigma float64) (PlanInfo, error) {
 	return pi, nil
 }
 
+// RoundProbe exposes the pure combine/round lane evaluation for the
+// acceptance harness's dudect pass: the returned function folds one
+// convolved proposal x with one 64-bit coin word through the plan
+// serving sigma at fractional center r = μ − ⌊μ⌋, returning the
+// candidate and its accept bit.  It performs no draws and touches no
+// shard state, so a timing harness can feed it fixed-vs-random input
+// classes — exactly the secret-dependent values a leaky round path
+// would betray — without rejection-loop noise.  SigmaP is the plan's
+// dominating proposal width, which bounds the admissible |x|.
+func (s *Sampler) RoundProbe(sigma, mu float64) (probe func(x int64, coin uint64) (z int64, accept uint64), sigmaP float64, err error) {
+	if err := s.check(sigma, mu); err != nil {
+		return nil, 0, err
+	}
+	p := s.planOf(sigma)
+	r := mu - math.Floor(mu)
+	return func(x int64, coin uint64) (int64, uint64) {
+		return evalLane(p, r, x, coin)
+	}, p.SigmaP, nil
+}
+
 // Stats is a snapshot of the sampler's serving counters.
 type Stats struct {
 	Bases      []string // base-set σ strings

@@ -255,7 +255,9 @@ func (g GOF) String() string {
 // ≈ e⁻⁷²; any sample outside fails the fit), merges tail bins inward
 // until every expected count reaches the customary minimum of 5, and
 // returns the chi-square verdict plus the order-2 Rényi divergence over
-// the merged bins.
+// the merged bins.  The reference probabilities come from float64
+// math.Exp; the acceptance harness's stronger form is GOFAgainst with a
+// bigfp-derived reference.
 func ChiSquareGaussian(samples []int, sigma, mu float64) GOF {
 	lo := int(math.Floor(mu - 12*sigma))
 	hi := int(math.Ceil(mu + 12*sigma))
@@ -269,8 +271,25 @@ func ChiSquareGaussian(samples []int, sigma, mu float64) GOF {
 	for i := range probs {
 		probs[i] /= z
 	}
+	return GOFAgainst(samples, lo, probs)
+}
+
+// GOFAgainst tests integer samples against an explicit reference PMF:
+// probs[i] is the expected probability of the value lo+i, and any sample
+// outside [lo, lo+len(probs)−1] fails the fit outright (the window is
+// chosen so the reference mass beyond it is negligible).  The reference
+// may sum to slightly below 1 (e.g. a bigfp PMF normalized over all of
+// ℤ whose window strands ≈ e⁻⁷² of tail mass); the deficit only has to
+// be far below 1/len(samples) to leave the expected counts unchanged.
+// Tail bins are merged inward until every expected count reaches the
+// customary minimum of 5, then the chi-square verdict and the order-2
+// Rényi divergence are computed over the merged bins.
+//
+// probs is consumed (tail merging mutates it in place).
+func GOFAgainst(samples []int, lo int, probs []float64) GOF {
 	obs := make([]uint64, len(probs))
 	outliers := 0
+	hi := lo + len(probs) - 1
 	for _, s := range samples {
 		if s < lo || s > hi {
 			outliers++
@@ -281,7 +300,7 @@ func ChiSquareGaussian(samples []int, sigma, mu float64) GOF {
 	obs, probs = mergeTails(obs, probs, float64(len(samples)))
 	stat, df := ChiSquare(obs, probs)
 	if outliers > 0 {
-		stat = math.Inf(1) // mass where the ideal has ≈ none
+		stat = math.Inf(1) // mass where the reference has ≈ none
 	}
 	return GOF{
 		Stat:   stat,

@@ -250,6 +250,53 @@ func TestGaussianHarnessAcceptsTrueRejectsWrong(t *testing.T) {
 	}
 }
 
+// TestGOFAgainstMatchesGaussianForm pins the refactor: ChiSquareGaussian
+// is GOFAgainst over the float64 reference window, so an explicit
+// reference with the same probabilities must return the identical
+// verdict, and a deliberately wrong reference must fail.
+func TestGOFAgainstMatchesGaussianForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40000
+	sigma := 3.0
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = int(math.Round(rng.NormFloat64() * sigma))
+	}
+	lo := int(math.Floor(-12 * sigma))
+	hi := int(math.Ceil(12 * sigma))
+	probs := make([]float64, hi-lo+1)
+	var z float64
+	for v := lo; v <= hi; v++ {
+		probs[v-lo] = math.Exp(-float64(v) * float64(v) / (2 * sigma * sigma))
+		z += probs[v-lo]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	direct := GOFAgainst(samples, lo, append([]float64(nil), probs...))
+	viaGaussian := ChiSquareGaussian(samples, sigma, 0)
+	if direct.Stat != viaGaussian.Stat || direct.DF != viaGaussian.DF || direct.Renyi2 != viaGaussian.Renyi2 {
+		t.Fatalf("explicit reference diverges from Gaussian form: %s vs %s", direct, viaGaussian)
+	}
+	if !direct.Pass(0.001, 1.01) {
+		t.Fatalf("true reference rejected: %s", direct)
+	}
+	// A reference that redistributes 10% of the central mass must fail.
+	warped := append([]float64(nil), probs...)
+	center := -lo
+	delta := 0.1 * warped[center]
+	warped[center] -= delta
+	warped[center+1] += delta
+	if g := GOFAgainst(samples, lo, warped); g.Pass(0.001, 1.01) {
+		t.Fatalf("warped reference accepted: %s", g)
+	}
+	// A sample below the window is an immediate fail.
+	outlied := append(append([]int(nil), samples...), lo-5)
+	if g := GOFAgainst(outlied, lo, append([]float64(nil), probs...)); !math.IsInf(g.Stat, 1) {
+		t.Fatalf("window outlier not flagged: %s", g)
+	}
+}
+
 func TestMergeTailsRespectsMinimumExpectation(t *testing.T) {
 	g := ChiSquareGaussian([]int{0, 1, -1, 0, 2, -2, 0, 1, -1, 0}, 1.5, 0)
 	// 10 samples: every surviving bin must expect ≥ 5... which forces

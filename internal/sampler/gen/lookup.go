@@ -14,3 +14,8 @@ func Lookup(sigma string) (fn func(in, out []uint64), numInputs, valueBits int, 
 	}
 	return nil, 0, 0, false
 }
+
+// Sigmas enumerates the σ values with generated native circuits — the
+// registry-served configurations tools sweep by default (cmd/ctcheck,
+// the acceptance harness).  Keep in step with Lookup.
+func Sigmas() []string { return []string{"2", "6.15543"} }

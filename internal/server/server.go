@@ -250,6 +250,22 @@ func New(cfg Config) (*Server, error) {
 // http.Server).
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Sigmas returns the precompiled σ menu in configuration order (the
+// first entry is the default).  The acceptance harness sweeps exactly
+// this served surface rather than guessing it from flags.
+func (s *Server) Sigmas() []string { return append([]string(nil), s.cfg.Sigmas...) }
+
+// ArbitraryBounds reports the admissible free-form σ range of the
+// convolution layer, or ok=false when the layer is disabled — the other
+// half of the served surface the acceptance sweep must cover.
+func (s *Server) ArbitraryBounds() (min, max float64, ok bool) {
+	if s.arb == nil {
+		return 0, 0, false
+	}
+	min, max = s.arb.arb.Bounds()
+	return min, max, true
+}
+
 // FalconEnabled reports whether the Falcon endpoints are mounted.
 func (s *Server) FalconEnabled() bool { return s.signers != nil }
 
