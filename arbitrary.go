@@ -1,8 +1,14 @@
 package ctgauss
 
 import (
+	"context"
+
 	"ctgauss/internal/convolve"
 )
+
+// ErrArbitraryDegraded is returned by Arbitrary draws when every shard
+// is poisoned (see ErrPoolDegraded for the poisoning model).
+var ErrArbitraryDegraded = convolve.ErrDegraded
 
 // ArbitraryConfig controls an arbitrary-(σ, μ) sampler.  The zero value
 // selects the documented defaults.
@@ -84,6 +90,14 @@ func (a *Arbitrary) NextBatch(sigma, mu float64, dst []int) error {
 	return a.inner.NextBatch(sigma, mu, dst)
 }
 
+// NextBatchContext is NextBatch with cancellation: ctx unblocks a draw
+// waiting on a slow base refill and is checked between trial blocks.
+// Draws fail over poisoned shards and return ErrArbitraryDegraded only
+// when none is healthy.
+func (a *Arbitrary) NextBatchContext(ctx context.Context, sigma, mu float64, dst []int) error {
+	return a.inner.NextBatchContext(ctx, sigma, mu, dst)
+}
+
 // Plan reports how sigma would be served: the dominating proposal width
 // and the base draws of one trial.
 func (a *Arbitrary) Plan(sigma float64) (ArbitraryPlan, error) {
@@ -100,7 +114,12 @@ func (a *Arbitrary) BitsUsed() uint64 { return a.inner.BitsUsed() }
 // Bounds returns the admissible σ range.
 func (a *Arbitrary) Bounds() (min, max float64) { return a.inner.Bounds() }
 
+// Health snapshots the per-shard fault-isolation state, merged across
+// the base engines (a shard is poisoned if any base member's stream on
+// it is poisoned).
+func (a *Arbitrary) Health() []ShardHealth { return a.inner.Health() }
+
 // Close stops the background refill goroutines behind the base-draw
-// streams.  Draws concurrent with or after Close panic; callers own
-// that ordering (the serving layer drains first).
+// streams.  Draws concurrent with or after Close fail with ErrClosed;
+// the serving layer drains first so the error is never served.
 func (a *Arbitrary) Close() { a.inner.Close() }

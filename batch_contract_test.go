@@ -23,7 +23,11 @@ func TestNextBatchLengthContract(t *testing.T) {
 	}
 	impls := map[string]func([]int){
 		"Sampler": s.NextBatch,
-		"Pool":    p.NextBatch,
+		"Pool": func(dst []int) {
+			if err := p.NextBatch(dst); err != nil {
+				t.Fatalf("Pool.NextBatch: %v", err)
+			}
+		},
 	}
 	for name, next := range impls {
 		// Reject: len < 64 panics with the documented message.

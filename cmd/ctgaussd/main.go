@@ -58,6 +58,7 @@ func main() {
 	falconShards := flag.Int("falcon-shards", 0, "signer pool shards (0 = NumCPU)")
 	queue := flag.Int("queue", 256, "per-endpoint admission queue depth (excess load gets 429)")
 	maxCount := flag.Int("max-count", 65536, "largest per-request sample count")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request handler deadline (0 = none); a draw stuck behind a restarting shard fails with 503 + Retry-After at the deadline")
 	cacheDir := flag.String("cache", "", "circuit cache directory (sets CTGAUSS_CACHE_DIR)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
@@ -94,6 +95,7 @@ func main() {
 		FalconShards:     *falconShards,
 		MaxCount:         *maxCount,
 		QueueDepth:       *queue,
+		RequestTimeout:   *requestTimeout,
 		DisableArbitrary: !*arbitrary,
 		ArbitraryBases:   splitList(*arbBases),
 		ArbitraryShards:  *arbShards,

@@ -15,7 +15,15 @@
 //	ctgaussload -mode arbitrary -sigma 17.5 -mu 0.375
 //	ctgaussload -mode sign -clients 4 -requests 50
 //	ctgaussload -mode mix -count 256
+//	ctgaussload -retries 5 -retry-backoff 50ms       # ride out 429/503 shedding
 //	ctgaussload -addr http://gauss.internal:8754 -json report.json
+//
+// With -retries > 0, attempts the daemon sheds with 429 (queue full) or
+// 503 (degraded/draining) are retried after a jittered exponential
+// backoff, never sooner than the server's Retry-After header asks.  The
+// report's "retries" field counts those extra attempts and
+// "server_cancelled" carries the daemon's own
+// ctgaussd_requests_cancelled_total tally after the run.
 package main
 
 import (
@@ -38,19 +46,23 @@ func main() {
 	mu := flag.Float64("mu", 0, "center μ for arbitrary-mode requests")
 	message := flag.String("message", "ctgaussload message", "payload for sign/verify requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	retries := flag.Int("retries", 0, "retries per request on 429/503 (jittered exponential backoff, floored by the server's Retry-After)")
+	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "base backoff before the first retry")
 	jsonPath := flag.String("json", "-", "report destination (\"-\" = stdout)")
 	flag.Parse()
 
 	report, err := server.RunLoad(server.LoadConfig{
-		BaseURL:  *addr,
-		Mode:     *mode,
-		Clients:  *clients,
-		Requests: *requests,
-		Count:    *count,
-		Sigma:    *sigma,
-		Mu:       *mu,
-		Message:  []byte(*message),
-		Timeout:  *timeout,
+		BaseURL:      *addr,
+		Mode:         *mode,
+		Clients:      *clients,
+		Requests:     *requests,
+		Count:        *count,
+		Sigma:        *sigma,
+		Mu:           *mu,
+		Message:      []byte(*message),
+		Timeout:      *timeout,
+		Retries:      *retries,
+		RetryBackoff: *retryBackoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctgaussload:", err)

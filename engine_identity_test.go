@@ -50,8 +50,12 @@ func TestPoolAsyncMatchesSync(t *testing.T) {
 			shard := rng.Intn(shards)
 			n := 1 + rng.Intn(700)
 			a, b := make([]int, n), make([]int, n)
-			ps.TakeFromShard(shard, a)
-			pa.TakeFromShard(shard, b)
+			if err := ps.TakeFromShard(shard, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := pa.TakeFromShard(shard, b); err != nil {
+				t.Fatal(err)
+			}
 			for j := range a {
 				if a[j] != b[j] {
 					t.Fatalf("σ=%s n=%d shard %d take %d: sync %d vs async %d at %d",
@@ -87,13 +91,17 @@ func TestPoolTakeMatchesBatchStream(t *testing.T) {
 	var got []int
 	for _, n := range []int{5, 64, 100, 3, 128, 1, 511} {
 		out := make([]int, n)
-		taker.Take(out)
+		if err := taker.Take(nil, out); err != nil {
+			t.Fatal(err)
+		}
 		got = append(got, out...)
 	}
 	want := make([]int, 0, len(got)+64)
 	batch := make([]int, 64)
 	for len(want) < len(got) {
-		batcher.NextBatch(batch)
+		if err := batcher.NextBatch(batch); err != nil {
+			t.Fatal(err)
+		}
 		want = append(want, batch...)
 	}
 	for i, v := range got {
@@ -113,7 +121,9 @@ func TestLifecycleClosesGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.NextBatch(make([]int, 64))
+	if err := p.NextBatch(make([]int, 64)); err != nil {
+		t.Fatal(err)
+	}
 	if es := p.EngineStats(); !es.Async || es.Prefetch != ctgauss.DefaultPrefetch {
 		t.Fatalf("default pool engine not async at default depth: %+v", es)
 	}
@@ -149,7 +159,9 @@ func TestLifecycleClosesGoroutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps.NextBatch(make([]int, 64))
+	if err := ps.NextBatch(make([]int, 64)); err != nil {
+		t.Fatal(err)
+	}
 	if g := runtime.NumGoroutine(); g > before {
 		t.Fatalf("sync pool started goroutines: %d > %d", g, before)
 	}

@@ -5,4 +5,4 @@ package ctgauss
 // picker's (deliberately unspecified) cross-shard interleave.
 
 // TakeFromShard copies the next len(dst) samples of one shard's stream.
-func (p *Pool) TakeFromShard(shard int, dst []int) { p.eng.TakeFrom(shard, dst) }
+func (p *Pool) TakeFromShard(shard int, dst []int) error { return p.eng.TakeFrom(nil, shard, dst) }

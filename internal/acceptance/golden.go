@@ -134,7 +134,9 @@ func goldenStream(c GoldenCase, depth int) ([]int, error) {
 		})
 	defer eng.Close()
 	out := make([]int, c.Count)
-	eng.TakeFrom(0, out)
+	if err := eng.TakeFrom(nil, 0, out); err != nil {
+		return nil, fmt.Errorf("acceptance: golden %s: %w", c.Name, err)
+	}
 	return out, nil
 }
 

@@ -135,7 +135,10 @@ func sweepCompiled(opt GridOptions, rep *GridReport) error {
 			return fmt.Errorf("acceptance: building compiled σ=%s: %w", sig, err)
 		}
 		dst := make([]int, opt.SamplesPerCell)
-		pool.Take(dst)
+		if err := pool.Take(nil, dst); err != nil {
+			pool.Close()
+			return fmt.Errorf("acceptance: drawing compiled σ=%s: %w", sig, err)
+		}
 		pool.Close()
 		c := evalCell(dst, sf, 0, opt.Prec, opt.Gates)
 		c.Surface = "compiled"

@@ -30,8 +30,10 @@
 package convolve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -51,6 +53,11 @@ import (
 // DefaultBases is the default base set: the paper's two evaluation
 // configurations, whose circuits ship pregenerated.
 var DefaultBases = []string{"2", "6.15543"}
+
+// ErrDegraded is returned by draws when every shard of a base engine is
+// poisoned — all producers panicked and are restarting or dead.  While
+// any shard is healthy, draws fail over to it transparently.
+var ErrDegraded = errors.New("convolve: all shards poisoned")
 
 // Default request bounds.  MinSigma keeps the dominating proposal's
 // overshoot (and so the trial count) bounded; MaxSigma bounds the
@@ -216,20 +223,38 @@ func New(cfg Config) (*Sampler, error) {
 	s.engines = make([]*engine.Engine[int], len(set.Members))
 	s.baseBits = make([]uint64, len(set.Members))
 	for bi, art := range set.Members {
+		art := art
+		bi := bi
+		mkWide := func(i int) (sampler.BatchSampler, error) {
+			src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, bi))
+			if err != nil {
+				return nil, err
+			}
+			return art.NewWideSampler(src, sampler.DefaultWidth), nil
+		}
 		wides := make([]sampler.BatchSampler, cfg.Shards)
 		for i := range wides {
-			src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i, bi))
+			w, err := mkWide(i)
 			if err != nil {
 				s.Close()
 				return nil, err
 			}
-			wides[i] = art.NewWideSampler(src, sampler.DefaultWidth)
+			wides[i] = w
 		}
 		s.baseBits[bi] = uint64(art.Program.NumInputs+1) * 64 * sampler.DefaultWidth
 		s.engines[bi] = engine.New(engine.Config{
 			Shards:   cfg.Shards,
 			SlotSize: sampler.DefaultWidth * 64,
 			Depth:    depth,
+			// Reset rebuilds the shard's wide sampler from its
+			// domain-separated seed after a recovered refill panic, so the
+			// (shard, base) stream resumes deterministically from its start.
+			// Runs with fill's exclusivity, so the assignment is race-free.
+			Reset: func(sh int) {
+				if fresh, err := mkWide(sh); err == nil {
+					wides[sh] = fresh
+				}
+			},
 		}, func(sh int, dst []int) {
 			for off := 0; off < len(dst); off += 64 {
 				wides[sh].NextBatch(dst[off : off+64])
@@ -240,7 +265,8 @@ func New(cfg Config) (*Sampler, error) {
 }
 
 // Close stops the base engines' producer goroutines.  Draws concurrent
-// with or after Close panic; callers own that ordering.
+// with or after Close fail with engine.ErrClosed; serving layers drain
+// first so the error is never served.
 func (s *Sampler) Close() {
 	for _, e := range s.engines {
 		if e != nil {
@@ -304,6 +330,19 @@ func (s *Sampler) Next(sigma, mu float64) (int, error) {
 // served exactly (accepted candidates are compacted, so nothing rounds
 // to batch boundaries).  Safe for concurrent use.
 func (s *Sampler) NextBatch(sigma, mu float64, dst []int) error {
+	return s.NextBatchContext(nil, sigma, mu, dst)
+}
+
+// NextBatchContext is NextBatch with cancellation: ctx unblocks a draw
+// waiting on a slow base refill and is checked between trial blocks, so
+// a cancelled request stops consuming base streams promptly.  A nil ctx
+// never cancels.  On any error dst's contents are undefined.
+//
+// A poisoned base-engine shard (its producer panicked and is restarting)
+// is failed over: the trial block retries on the next shard, trying each
+// once; only when every shard is poisoned does the draw fail, with
+// ErrDegraded.
+func (s *Sampler) NextBatchContext(ctx context.Context, sigma, mu float64, dst []int) error {
 	if err := s.check(sigma, mu); err != nil {
 		return err
 	}
@@ -317,6 +356,11 @@ func (s *Sampler) NextBatch(sigma, mu float64, dst []int) error {
 
 	written := 0
 	for written < len(dst) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Size the trial block to the remaining need (acceptance is at
 		// least ~σ/(2σ_p) ≥ ~1/4, so 4× covers most blocks) without
 		// exceeding one base batch.
@@ -327,43 +371,70 @@ func (s *Sampler) NextBatch(sigma, mu float64, dst []int) error {
 		if w < 8 {
 			w = 8
 		}
-		si := s.pick()
-		sh := s.shards[si]
-		sh.mu.Lock()
-		for i := 0; i < w; i++ {
-			sh.xs[i] = 0
-		}
-		// One plan term's contribution per pass: pop w samples of the
-		// term's base stream (zero-copy slices of the engine ring) and
-		// add them into the proposal scaled by the coefficient.  The trip
-		// count is fixed by (w, plan) and the per-value arithmetic is
-		// branch-free, as in the pre-engine draw loop.
-		for _, term := range p.Terms {
-			coeff := term.Coeff
-			j := 0
-			s.engines[term.Base].ConsumeFrom(si, w, func(chunk []int) {
-				for _, v := range chunk {
-					sh.xs[j] += coeff * int64(v)
-					j++
-				}
-			})
-		}
-		sh.coins.FillWords(sh.cw[:w])
-		mask := evalLanes(p, r, sh.xs[:w], sh.cw[:w], sh.zs[:w], w)
-		// Compaction: the only data-dependent control flow, and it
-		// depends only on accept bits — see the timing argument in
-		// lanes.go.
-		for i := 0; i < w && written < len(dst); i++ {
-			if mask>>uint(i)&1 == 1 {
-				dst[written] = int(sh.zs[i] + off)
-				written++
+		start := s.pick()
+		var n int
+		var err error
+		for k := 0; k < len(s.shards); k++ {
+			n, err = s.tryBlock(ctx, (start+k)%len(s.shards), p, r, off, w, dst[written:])
+			if err == nil || !errors.Is(err, engine.ErrShardPoisoned) {
+				break
 			}
 		}
-		sh.mu.Unlock()
-		s.trials.Add(uint64(w))
-		s.accepted.Add(uint64(bits.OnesCount64(mask)))
+		if err != nil {
+			if errors.Is(err, engine.ErrShardPoisoned) {
+				return ErrDegraded
+			}
+			return err
+		}
+		written += n
 	}
 	return nil
+}
+
+// tryBlock evaluates one trial block of width w on shard si, compacting
+// accepted samples into dst, and returns how many it wrote.  A poisoned
+// base shard surfaces as engine.ErrShardPoisoned so the caller can fail
+// over; base samples already drawn for the abandoned block are discarded
+// (fault paths make no bit-identity promise).
+func (s *Sampler) tryBlock(ctx context.Context, si int, p *plan, r float64, off int64, w int, dst []int) (int, error) {
+	sh := s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < w; i++ {
+		sh.xs[i] = 0
+	}
+	// One plan term's contribution per pass: pop w samples of the
+	// term's base stream (zero-copy slices of the engine ring) and
+	// add them into the proposal scaled by the coefficient.  The trip
+	// count is fixed by (w, plan) and the per-value arithmetic is
+	// branch-free, as in the pre-engine draw loop.
+	for _, term := range p.Terms {
+		coeff := term.Coeff
+		j := 0
+		if err := s.engines[term.Base].ConsumeFrom(ctx, si, w, func(chunk []int) {
+			for _, v := range chunk {
+				sh.xs[j] += coeff * int64(v)
+				j++
+			}
+		}); err != nil {
+			return 0, err
+		}
+	}
+	sh.coins.FillWords(sh.cw[:w])
+	mask := evalLanes(p, r, sh.xs[:w], sh.cw[:w], sh.zs[:w], w)
+	// Compaction: the only data-dependent control flow, and it
+	// depends only on accept bits — see the timing argument in
+	// lanes.go.
+	n := 0
+	for i := 0; i < w && n < len(dst); i++ {
+		if mask>>uint(i)&1 == 1 {
+			dst[n] = int(sh.zs[i] + off)
+			n++
+		}
+	}
+	s.trials.Add(uint64(w))
+	s.accepted.Add(uint64(bits.OnesCount64(mask)))
+	return n, nil
 }
 
 // pick selects the next shard round-robin.  Unlike ctgauss.Pool's
@@ -478,3 +549,21 @@ func (s *Sampler) Stats() Stats {
 
 // Bounds returns the admissible σ range.
 func (s *Sampler) Bounds() (min, max float64) { return s.cfg.MinSigma, s.cfg.MaxSigma }
+
+// Health merges the per-shard fault-isolation state across the base
+// engines: shard i is poisoned (or dead) if it is poisoned (dead) in any
+// member's engine — a trial block needs every term's base stream, so one
+// poisoned member makes the whole shard unusable for draws.  Restart and
+// discard counts sum across members.
+func (s *Sampler) Health() []engine.ShardHealth {
+	merged := make([]engine.ShardHealth, len(s.shards))
+	for _, e := range s.engines {
+		for i, h := range e.Health() {
+			merged[i].Poisoned = merged[i].Poisoned || h.Poisoned
+			merged[i].Dead = merged[i].Dead || h.Dead
+			merged[i].Restarts += h.Restarts
+			merged[i].DiscardedRefills += h.DiscardedRefills
+		}
+	}
+	return merged
+}

@@ -55,7 +55,9 @@ func BenchmarkEngineTake(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				dst := make([]int, 64)
 				for pb.Next() {
-					e.TakeFrom(p.Pick(), dst)
+					if err := e.TakeFrom(nil, p.Pick(), dst); err != nil {
+						b.Fatal(err)
+					}
 				}
 			})
 		})

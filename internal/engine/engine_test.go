@@ -37,7 +37,9 @@ func TestStreamOrderMatchesSync(t *testing.T) {
 				s := rng.Intn(shards)
 				n := 1 + rng.Intn(3*slot)
 				got := make([]int, n)
-				e.TakeFrom(s, got)
+				if err := e.TakeFrom(nil, s, got); err != nil {
+					t.Fatal(err)
+				}
 				for j, v := range got {
 					want := s*1_000_000_000 + pos[s] + j
 					if v != want {
@@ -77,9 +79,12 @@ func TestStressManyConsumers(t *testing.T) {
 				s := rng.Intn(shards)
 				n := 1 + rng.Intn(2*slot)
 				items += uint64(n)
-				e.ConsumeFrom(s, n, func(chunk []int) {
+				if err := e.ConsumeFrom(nil, s, n, func(chunk []int) {
 					seen[s] = append(seen[s], chunk...)
-				})
+				}); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 			mu.Lock()
 			wantItems += items
@@ -133,7 +138,9 @@ func TestSyncModeLedger(t *testing.T) {
 		t.Fatalf("sync engine started goroutines: %d > %d", g, before)
 	}
 	dst := make([]int, 20)
-	e.TakeFrom(0, dst) // 8+8+4: three inline fills, one take
+	if err := e.TakeFrom(nil, 0, dst); err != nil { // 8+8+4: three inline fills, one take
+		t.Fatal(err)
+	}
 	l := e.Ledger()
 	if l.RefillsProduced != 3 || l.RefillsStarted != 3 {
 		t.Fatalf("sync refills: produced %d started %d, want 3/3", l.RefillsProduced, l.RefillsStarted)
@@ -143,7 +150,9 @@ func TestSyncModeLedger(t *testing.T) {
 	}
 	// The 4 leftover items of the third slot serve the next take without
 	// a fill: a hit.
-	e.TakeFrom(0, dst[:4])
+	if err := e.TakeFrom(nil, 0, dst[:4]); err != nil {
+		t.Fatal(err)
+	}
 	if l = e.Ledger(); l.PrefetchHits != 1 || l.RefillsProduced != 3 {
 		t.Fatalf("leftover take: %+v", l)
 	}
@@ -157,7 +166,9 @@ func TestCloseStopsProducers(t *testing.T) {
 	e := New(Config{Shards: 8, SlotSize: 16, Depth: 4}, counterFill(make([]int, 8)))
 	dst := make([]int, 64)
 	for s := 0; s < 8; s++ {
-		e.TakeFrom(s, dst)
+		if err := e.TakeFrom(nil, s, dst); err != nil {
+			t.Fatal(err)
+		}
 	}
 	e.Close()
 	e.Close() // idempotent
@@ -170,18 +181,18 @@ func TestCloseStopsProducers(t *testing.T) {
 	}
 }
 
-// TestConsumeAfterClosePanics pins the lifecycle contract: consuming a
-// closed engine is a programming error (the drain gate must order
-// Close after the last request), not a silent zero-fill.
-func TestConsumeAfterClosePanics(t *testing.T) {
+// TestConsumeAfterCloseErrClosed pins the lifecycle contract: a draw
+// racing (or ordered after) Close degrades to ErrClosed — an error the
+// serving layer can map to a 503 — not a panic or a silent zero-fill.
+func TestConsumeAfterCloseErrClosed(t *testing.T) {
 	e := New(Config{Shards: 1, SlotSize: 4, Depth: 2}, counterFill(make([]int, 1)))
 	e.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ConsumeFrom after Close did not panic")
-		}
-	}()
-	e.TakeFrom(0, make([]int, 1))
+	if err := e.TakeFrom(nil, 0, make([]int, 1)); err != ErrClosed {
+		t.Fatalf("TakeFrom after Close: %v, want ErrClosed", err)
+	}
+	if err := e.ConsumeFrom(nil, 0, 1, func([]int) {}); err != ErrClosed {
+		t.Fatalf("ConsumeFrom after Close: %v, want ErrClosed", err)
+	}
 }
 
 // TestAdaptiveTargetGrowsAndDecays exercises both directions of the
@@ -199,7 +210,9 @@ func TestAdaptiveTargetGrowsAndDecays(t *testing.T) {
 	defer e.Close()
 	dst := make([]int, 256)
 	for i := 0; i < 20; i++ {
-		e.TakeFrom(0, dst)
+		if err := e.TakeFrom(nil, 0, dst); err != nil {
+			t.Fatal(err)
+		}
 	}
 	l := e.Ledger()
 	if l.PrefetchMisses == 0 {
@@ -210,7 +223,9 @@ func TestAdaptiveTargetGrowsAndDecays(t *testing.T) {
 	small := make([]int, 1)
 	for i := 0; i < 3*decayStreak; i++ {
 		time.Sleep(10 * time.Microsecond)
-		e.TakeFrom(0, small)
+		if err := e.TakeFrom(nil, 0, small); err != nil {
+			t.Fatal(err)
+		}
 	}
 	l2 := e.Ledger()
 	if l2.PrefetchHits == l.PrefetchHits {

@@ -1,12 +1,15 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// ErrClosed is returned by ShardSet.Do after Close.
+// ErrClosed is returned by ShardSet.Do and Engine.ConsumeFrom after
+// Close.
 var ErrClosed = errors.New("engine: use after Close")
 
 // ShardSet is the engine runtime's primitive for sharded resources that
@@ -40,11 +43,37 @@ func NewShardSet[T any](items []T) *ShardSet[T] {
 // Safe for any number of concurrent callers; after Close it returns
 // ErrClosed without touching a shard.
 func (s *ShardSet[T]) Do(fn func(T) error) error {
+	return s.DoContext(nil, fn)
+}
+
+// DoContext is Do with cancellation: a caller whose context is already
+// cancelled fails with ctx.Err() before claiming a shard, and one that
+// cancels while queued behind a busy shard unblocks without running fn.
+// A nil ctx never cancels.
+func (s *ShardSet[T]) DoContext(ctx context.Context, fn func(T) error) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	e := s.elems[s.picker.Pick()]
-	e.mu.Lock()
+	if ctx == nil || ctx.Done() == nil {
+		e.mu.Lock()
+	} else {
+		// Bounded wait: poll the lock against cancellation.  Shard hold
+		// times are one request's work (a signature), so the poll interval
+		// stays invisible next to the work itself.
+		for !e.mu.TryLock() {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
 	defer e.mu.Unlock()
 	return fn(e.v)
 }

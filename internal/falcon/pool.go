@@ -1,6 +1,7 @@
 package falcon
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"runtime"
@@ -69,8 +70,15 @@ func signerShardSeed(seed []byte, shard int) []byte {
 // Sign produces a signature for msg on one shard.  Safe for concurrent
 // use.  After Close it fails with ErrPoolClosed.
 func (p *SignerPool) Sign(msg []byte) (*Signature, error) {
+	return p.SignContext(nil, msg)
+}
+
+// SignContext is Sign with cancellation: a caller whose context cancels
+// while queued behind a busy signer shard unblocks with ctx.Err()
+// instead of holding its place in line.  A nil ctx never cancels.
+func (p *SignerPool) SignContext(ctx context.Context, msg []byte) (*Signature, error) {
 	var sig *Signature
-	err := p.shards.Do(func(s *Signer) error {
+	err := p.shards.DoContext(ctx, func(s *Signer) error {
 		var e error
 		sig, e = s.Sign(msg)
 		return e

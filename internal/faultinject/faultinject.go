@@ -1,0 +1,143 @@
+// Package faultinject provides named fault-injection points for the
+// serving runtime's chaos tests: a fill function that panics mid-refill,
+// a fill that stalls, an entropy read that fails.  Production code calls
+// Fire at each point; unless a test has armed the point, Fire is a
+// single atomic load and an immediate return — no allocation, no lock,
+// no behavior change.  Golden streams and the acceptance grid therefore
+// hold bit-identically whenever nothing is armed, which is the normal
+// state of every production process.
+//
+// Arming is process-global (the injection points live inside package
+// internals that tests cannot reach by parameter), so tests that arm
+// faults must not run in parallel with tests that assume a fault-free
+// runtime, and must defer the disarm function Arm returns.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injection point names.  Each names the exact seam it interrupts.
+const (
+	// EngineFillPanic panics inside the engine's fill wrapper — on the
+	// producer goroutine (async) or under the ring lock (sync) — before
+	// the refill publishes, modeling a circuit-evaluation bug.
+	EngineFillPanic = "engine.fill.panic"
+	// EngineFillDelay sleeps inside the fill wrapper, modeling a stalled
+	// evaluation (slow NUMA page, preempted core) without failing it.
+	EngineFillDelay = "engine.fill.delay"
+	// PRNGReadError panics inside prng.BitReader's buffer refill,
+	// modeling an entropy-source read failure.  It surfaces wherever the
+	// reader is consumed — usually inside an engine fill, whose recovery
+	// then contains it.
+	PRNGReadError = "prng.read.error"
+)
+
+// AnyShard matches every shard index (including the -1 that non-sharded
+// call sites pass).
+const AnyShard = -1
+
+// Fault configures one armed injection point.
+type Fault struct {
+	// Shard restricts firing to one shard index; AnyShard matches all.
+	Shard int
+	// Count is the number of times the fault fires before auto-disarming;
+	// 0 means every matching Fire until disarmed.
+	Count int
+	// Delay is the stall duration for delay points (ignored by panic
+	// points).
+	Delay time.Duration
+	// Msg is carried in the panic value of panic points (a default is
+	// derived from the point name when empty).
+	Msg string
+}
+
+// Injected is the panic value of an injected fault, so recovery layers
+// and tests can tell deliberate chaos from a genuine bug.
+type Injected struct {
+	Point string
+	Shard int
+	Msg   string
+}
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: %s (shard %d): %s", e.Point, e.Shard, e.Msg)
+}
+
+// armed counts armed faults; Fire's fast path is a single load of it.
+var armed atomic.Int32
+
+var (
+	mu     sync.Mutex
+	faults = map[string]*Fault{}
+)
+
+// Arm installs f at the named point and returns its disarm function.
+// Arming a point that is already armed replaces the previous fault.
+// The disarm function is idempotent and must be called (defer it) so one
+// test's fault cannot leak into the next.
+func Arm(point string, f Fault) (disarm func()) {
+	mu.Lock()
+	if _, dup := faults[point]; !dup {
+		armed.Add(1)
+	}
+	cp := f
+	faults[point] = &cp
+	mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { Disarm(point) }) }
+}
+
+// Disarm removes any fault at the named point.
+func Disarm(point string) {
+	mu.Lock()
+	if _, ok := faults[point]; ok {
+		delete(faults, point)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Armed reports whether any point is armed (diagnostics; tests assert
+// the zero state).
+func Armed() bool { return armed.Load() > 0 }
+
+// Fire triggers the named point for shard.  With nothing armed it
+// returns immediately (one atomic load); with a matching fault armed it
+// sleeps (delay points) or panics with *Injected (panic points),
+// decrementing the fault's remaining count first so a Count=1 fault
+// fires exactly once even if the panic unwinds past the caller.
+func Fire(point string, shard int) {
+	if armed.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	f, ok := faults[point]
+	if !ok || (f.Shard != AnyShard && f.Shard != shard) {
+		mu.Unlock()
+		return
+	}
+	if f.Count > 0 {
+		f.Count--
+		if f.Count == 0 {
+			delete(faults, point)
+			armed.Add(-1)
+		}
+	}
+	delay := f.Delay
+	msg := f.Msg
+	mu.Unlock()
+
+	switch point {
+	case EngineFillDelay:
+		time.Sleep(delay)
+	default:
+		if msg == "" {
+			msg = "injected fault"
+		}
+		panic(&Injected{Point: point, Shard: shard, Msg: msg})
+	}
+}

@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// fired reports whether Fire(point, shard) panics with *Injected.
+func fired(t *testing.T, point string, shard int) (hit bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			inj, ok := r.(*Injected)
+			if !ok {
+				t.Fatalf("Fire panicked with %T (%v), want *Injected", r, r)
+			}
+			if inj.Point != point || inj.Shard != shard {
+				t.Fatalf("Injected carries (%s, %d), want (%s, %d)", inj.Point, inj.Shard, point, shard)
+			}
+			hit = true
+		}
+	}()
+	Fire(point, shard)
+	return false
+}
+
+// TestDisarmedFireIsInert pins the production contract: with nothing
+// armed, Fire at any point and shard is a no-op.
+func TestDisarmedFireIsInert(t *testing.T) {
+	if Armed() {
+		t.Fatal("faults armed at test start")
+	}
+	for _, p := range []string{EngineFillPanic, EngineFillDelay, PRNGReadError, "no.such.point"} {
+		if fired(t, p, 0) {
+			t.Fatalf("disarmed point %s fired", p)
+		}
+	}
+}
+
+// TestShardMatching pins Fault.Shard semantics: a sharded fault fires
+// only on its shard, AnyShard fires everywhere (including the -1 that
+// non-sharded call sites pass).
+func TestShardMatching(t *testing.T) {
+	disarm := Arm(EngineFillPanic, Fault{Shard: 2})
+	defer disarm()
+	if fired(t, EngineFillPanic, 0) || fired(t, EngineFillPanic, -1) {
+		t.Fatal("shard-2 fault fired on another shard")
+	}
+	if !fired(t, EngineFillPanic, 2) {
+		t.Fatal("shard-2 fault missed its shard")
+	}
+	disarm()
+
+	defer Arm(EngineFillPanic, Fault{Shard: AnyShard})()
+	for _, s := range []int{-1, 0, 7} {
+		if !fired(t, EngineFillPanic, s) {
+			t.Fatalf("AnyShard fault missed shard %d", s)
+		}
+	}
+}
+
+// TestCountAutoDisarms pins Fault.Count: the fault fires exactly Count
+// times even though each firing unwinds past the caller, then the point
+// is disarmed without the disarm function running.
+func TestCountAutoDisarms(t *testing.T) {
+	defer Arm(PRNGReadError, Fault{Shard: AnyShard, Count: 2})()
+	for i := 0; i < 2; i++ {
+		if !fired(t, PRNGReadError, 0) {
+			t.Fatalf("firing %d of a Count=2 fault missed", i)
+		}
+	}
+	if fired(t, PRNGReadError, 0) {
+		t.Fatal("Count=2 fault fired a third time")
+	}
+	if Armed() {
+		t.Fatal("exhausted fault still counted as armed")
+	}
+}
+
+// TestDisarmIsIdempotent pins the deferred-disarm pattern: calling the
+// returned func repeatedly (or after Count exhausted the fault, or after
+// a re-Arm replaced it) never double-decrements the armed count.
+func TestDisarmIsIdempotent(t *testing.T) {
+	disarm := Arm(EngineFillPanic, Fault{Shard: AnyShard})
+	disarm()
+	disarm()
+	if Armed() {
+		t.Fatal("armed count nonzero after double disarm")
+	}
+	// Re-arming the same point replaces the fault rather than stacking
+	// it; disarm funcs clear the point by name, so either one suffices
+	// and neither double-decrements.
+	d1 := Arm(EngineFillPanic, Fault{Shard: 0})
+	d2 := Arm(EngineFillPanic, Fault{Shard: 1})
+	if !fired(t, EngineFillPanic, 1) {
+		t.Fatal("re-arm did not install the replacement fault")
+	}
+	if fired(t, EngineFillPanic, 0) {
+		t.Fatal("replaced fault still armed alongside its replacement")
+	}
+	d1()
+	d2()
+	if Armed() {
+		t.Fatal("armed count nonzero after replacement + both disarms")
+	}
+}
+
+// TestDelayPointSleeps pins the delay flavor: it stalls without
+// panicking and respects Count like the panic points.
+func TestDelayPointSleeps(t *testing.T) {
+	defer Arm(EngineFillDelay, Fault{Shard: AnyShard, Count: 1, Delay: 20 * time.Millisecond})()
+	start := time.Now()
+	Fire(EngineFillDelay, 0) // must not panic
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay point stalled only %v, want ≥ 20ms", d)
+	}
+	start = time.Now()
+	Fire(EngineFillDelay, 0) // count spent: no stall
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("exhausted delay point still stalled %v", d)
+	}
+}

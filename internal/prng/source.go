@@ -5,6 +5,8 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+
+	"ctgauss/internal/faultinject"
 )
 
 // AESCTR runs AES-128/256 in counter mode as a PRNG — the "platform
@@ -59,6 +61,11 @@ func NewBitReader(src Source) *BitReader {
 }
 
 func (r *BitReader) refill() {
+	// Chaos seam: an armed PRNGReadError fault panics here, modeling an
+	// entropy-source failure; it surfaces inside whatever fill consumes
+	// this reader, where the engine's recovery contains it.  Disarmed
+	// (always, in production) this is one atomic load.
+	faultinject.Fire(faultinject.PRNGReadError, faultinject.AnyShard)
 	r.src.Fill(r.buf[:])
 	r.off = 0
 	r.bitInOff = 0

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -38,8 +39,22 @@ func newArbco(arb *ctgauss.Arbitrary) *arbco {
 	return &arbco{arb: arb, sigmas: make(map[float64]struct{})}
 }
 
-func (a *arbco) draw(sigma, mu float64, out []int) error {
-	if err := a.arb.NextBatch(sigma, mu, out); err != nil {
+// degraded reports whether any shard of the arbitrary layer's base
+// engines is poisoned.  The serving layer sheds /v1/arbitrary load
+// while degraded — the free-form path fails over like the pools do,
+// but its trial blocks draw every base stream, so shedding it first
+// preserves the precompiled pools' capacity during a restart.
+func (a *arbco) degraded() bool {
+	for _, h := range a.arb.Health() {
+		if h.Poisoned {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *arbco) draw(ctx context.Context, sigma, mu float64, out []int) error {
+	if err := a.arb.NextBatchContext(ctx, sigma, mu, out); err != nil {
 		return err
 	}
 	a.samples.Add(uint64(len(out)))
@@ -64,6 +79,10 @@ type arbStats struct {
 	trials, accepted uint64
 	plans            uint64
 	shards           int
+
+	producerRestarts uint64
+	refillsDiscarded uint64
+	shardsPoisoned   int
 }
 
 func (a *arbco) stats() arbStats {
@@ -72,7 +91,7 @@ func (a *arbco) stats() arbStats {
 	overflow := a.sigmaOverflow
 	a.mu.Unlock()
 	st := a.arb.Stats()
-	return arbStats{
+	out := arbStats{
 		samples:        a.samples.Load(),
 		distinctSigmas: distinct,
 		sigmaOverflow:  overflow,
@@ -81,6 +100,14 @@ func (a *arbco) stats() arbStats {
 		plans:          st.Plans,
 		shards:         st.Shards,
 	}
+	for _, h := range a.arb.Health() {
+		out.producerRestarts += h.Restarts
+		out.refillsDiscarded += h.DiscardedRefills
+		if h.Poisoned {
+			out.shardsPoisoned++
+		}
+	}
+	return out
 }
 
 // arbitraryRequest is the /v1/arbitrary request schema.
@@ -120,11 +147,16 @@ func (s *Server) handleArbitrary(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("count %d exceeds limit %d", req.Count, s.cfg.MaxCount))
 		return
 	}
+	// Degraded mode: a poisoned shard anywhere in the base engines sheds
+	// the free-form path first, so the precompiled pools keep their
+	// capacity while the producer restarts.
+	if s.arb.degraded() {
+		writeUnavailable(w, "arbitrary layer degraded: a base shard is restarting")
+		return
+	}
 	out := make([]int, req.Count)
-	if err := s.arb.draw(req.Sigma, req.Mu, out); err != nil {
-		// The only draw failures are request-validation ones (σ outside
-		// bounds, non-finite μ).
-		writeError(w, http.StatusBadRequest, err.Error())
+	if err := s.arb.draw(r.Context(), req.Sigma, req.Mu, out); err != nil {
+		s.writeDrawError(w, epArbitrary, err)
 		return
 	}
 	s.m.samples.Add(uint64(req.Count))
@@ -136,16 +168,21 @@ func (s *Server) handleArbitrary(w http.ResponseWriter, r *http.Request) {
 // bounds is served by the convolution layer at μ = 0, so the endpoint's
 // σ menu is the continuous admissible range rather than the -sigmas
 // list.  Responses keep the request's σ spelling.
-func (s *Server) serveFreeformSigma(w http.ResponseWriter, req samplesRequest) {
+func (s *Server) serveFreeformSigma(w http.ResponseWriter, r *http.Request, req samplesRequest) {
 	sigma, err := strconv.ParseFloat(req.Sigma, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("unknown sigma %q (precompiled: %v; free-form σ must be a decimal)", req.Sigma, s.cfg.Sigmas))
 		return
 	}
+	// Free-form σ rides the arbitrary layer, so it sheds with it.
+	if s.arb.degraded() {
+		writeUnavailable(w, "arbitrary layer degraded: a base shard is restarting")
+		return
+	}
 	out := make([]int, req.Count)
-	if err := s.arb.draw(sigma, 0, out); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if err := s.arb.draw(r.Context(), sigma, 0, out); err != nil {
+		s.writeDrawError(w, epSamples, err)
 		return
 	}
 	s.m.samples.Add(uint64(req.Count))

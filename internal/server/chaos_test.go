@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ctgauss/internal/faultinject"
+)
+
+// waitMetric polls /metrics until the series reaches at least want (the
+// chaos faults fire on producer goroutines, so their counters land
+// asynchronously).
+func waitMetric(t *testing.T, baseURL, series string, want float64) float64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v := scrapeMetric(t, baseURL, series); v >= want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("series %s never reached %v", series, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosServerSurvivesProducerPanic is the integration half of the
+// tentpole: with one pool shard's refills panicking (twice, injected),
+// the daemon keeps serving every request from the healthy shard, the
+// producer restarts show up in /metrics, and /healthz lists the
+// per-shard damage — no crash, no failed request.
+func TestChaosServerSurvivesProducerPanic(t *testing.T) {
+	defer faultinject.Arm(faultinject.EngineFillPanic, faultinject.Fault{Shard: 0, Count: 2})()
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.DisableArbitrary = true
+		c.PoolShards = 2
+	})
+
+	for i := 0; i < 20; i++ {
+		drawSamples(t, ts.URL, 32)
+	}
+	waitMetric(t, ts.URL, `ctgaussd_engine_producer_restarts_total{sigma="2"}`, 2)
+	if v := scrapeMetric(t, ts.URL, `ctgaussd_engine_refills_discarded_total{sigma="2"}`); v != 2 {
+		t.Fatalf("discarded refills metric = %v, want 2", v)
+	}
+	// Both injected panics are spent, so the shard must be healthy again
+	// and the poisoned gauge back to zero.
+	deadline := time.Now().Add(10 * time.Second)
+	for scrapeMetric(t, ts.URL, `ctgaussd_engine_shards_poisoned{sigma="2"}`) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("poisoned gauge never cleared after recovery")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	hr := getHealth(t, ts.URL)
+	if hr.Status != "ok" {
+		t.Fatalf("healthz status after recovery = %q, want ok", hr.Status)
+	}
+	if len(hr.Pools) != 1 || hr.Pools[0].Sigma != "2" || len(hr.Pools[0].Shards) != 2 {
+		t.Fatalf("healthz pools block: %+v", hr.Pools)
+	}
+	if sh := hr.Pools[0].Shards[0]; sh.Restarts != 2 || sh.DiscardedRefills != 2 || sh.Dead {
+		t.Fatalf("healthz shard 0 after recovery: %+v", sh)
+	}
+	if sh := hr.Pools[0].Shards[1]; sh.Restarts != 0 || sh.Poisoned {
+		t.Fatalf("healthz healthy shard contaminated: %+v", sh)
+	}
+	// Traffic still flows after the recovery.
+	drawSamples(t, ts.URL, 64)
+}
+
+// TestChaosArbitraryShedsFirst pins the degraded-mode policy: with one
+// base-engine shard persistently failing, the free-form layer sheds its
+// requests immediately (503 + Retry-After) while the precompiled pools
+// keep serving via failover, and /healthz reports "degraded".
+func TestChaosArbitraryShedsFirst(t *testing.T) {
+	defer faultinject.Arm(faultinject.EngineFillPanic, faultinject.Fault{Shard: 0})()
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.PoolShards = 2
+		c.ArbitraryShards = 1
+	})
+
+	// The arbitrary layer's single shard poisons on its first (warmup)
+	// refill; wait for the gauge so the shed check below cannot race it.
+	waitMetric(t, ts.URL, `ctgaussd_engine_shards_poisoned{sigma="arbitrary"}`, 1)
+
+	resp, body := postJSONT(t, ts.URL+"/v1/arbitrary", arbitraryRequest{Count: 8, Sigma: 3.3})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /v1/arbitrary: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != retryAfterSeconds {
+		t.Fatalf("degraded 503 missing Retry-After (got %q)", resp.Header.Get("Retry-After"))
+	}
+	// Free-form σ on /v1/samples rides the same layer and sheds too.
+	resp, _ = postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 8, Sigma: "3.3"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded free-form σ: status %d, want 503", resp.StatusCode)
+	}
+	// The precompiled pool still serves: its healthy shard absorbs the load.
+	drawSamples(t, ts.URL, 64)
+
+	hr := getHealth(t, ts.URL)
+	if hr.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", hr.Status)
+	}
+}
+
+// TestChaosRequestTimeout pins Config.RequestTimeout: a request stuck
+// past the deadline fails with 503 + Retry-After and lands in the
+// cancelled counter, not the error-free path.
+func TestChaosRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.DisableArbitrary = true
+		c.RequestTimeout = 10 * time.Millisecond
+	})
+	s.testHook = func(string) { time.Sleep(50 * time.Millisecond) }
+
+	resp, body := postJSONT(t, ts.URL+"/v1/samples", samplesRequest{Count: 8})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != retryAfterSeconds {
+		t.Fatal("timed-out 503 missing Retry-After")
+	}
+	if v := scrapeMetric(t, ts.URL, `ctgaussd_requests_cancelled_total{endpoint="samples"}`); v != 1 {
+		t.Fatalf("cancelled counter = %v, want 1", v)
+	}
+}
+
+// TestChaosClientGoneBeforeAdmission pins the pre-admission
+// cancellation check: a request whose context is already dead takes no
+// queue slot, draws nothing, and counts only as cancelled.
+func TestChaosClientGoneBeforeAdmission(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.DisableArbitrary = true
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/samples", strings.NewReader(`{"count":4}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	if v := scrapeMetric(t, ts.URL, `ctgaussd_requests_cancelled_total{endpoint="samples"}`); v != 1 {
+		t.Fatalf("cancelled counter = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts.URL, `ctgaussd_requests_total{endpoint="samples"}`); v != 0 {
+		t.Fatalf("dead request was admitted: requests_total = %v", v)
+	}
+	if v := scrapeMetric(t, ts.URL, `ctgaussd_errors_total{endpoint="samples"}`); v != 0 {
+		t.Fatalf("client departure counted as a server error: %v", v)
+	}
+}
+
+// TestChaosLoadgenRetriesRideOutBackpressure pins the load generator's
+// retry loop against a deliberately tiny admission queue: rejected
+// attempts are retried with backoff, retries are reported, and none of
+// it counts as an error.
+func TestChaosLoadgenRetriesRideOutBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.FalconKey = nil
+		c.FalconN = 0
+		c.DisableArbitrary = true
+		c.QueueDepth = 1
+	})
+	s.testHook = func(string) { time.Sleep(time.Millisecond) }
+	report, err := RunLoad(LoadConfig{
+		BaseURL:      ts.URL,
+		Mode:         "samples",
+		Clients:      6,
+		Requests:     3,
+		Count:        8,
+		Retries:      64,
+		RetryBackoff: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("retried run still reported errors: %+v", report)
+	}
+	if report.Rejected == 0 {
+		t.Skip("no contention on this run; nothing to assert")
+	}
+	if report.Retries == 0 {
+		t.Fatalf("rejections recorded (%d) but no retries", report.Rejected)
+	}
+	// Every client loop ultimately succeeded, so the full sample count
+	// must have been served despite the shedding.
+	if want := 6 * 3 * 8; report.Samples != want {
+		t.Fatalf("samples after retries = %d, want %d", report.Samples, want)
+	}
+	// Reconciliation: each attempt is one HTTP request; the admitted ones
+	// are attempts minus per-attempt rejections.
+	adm := scrapeMetric(t, ts.URL, `ctgaussd_requests_total{endpoint="samples"}`)
+	if attempts := report.Requests + report.Retries; adm != float64(attempts-report.Rejected) {
+		t.Fatalf("reconciliation: admitted=%v, attempts=%d rejected=%d", adm, attempts, report.Rejected)
+	}
+}

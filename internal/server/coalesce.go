@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+
 	"ctgauss"
 )
 
@@ -31,8 +33,11 @@ func newCoalescer(sigma string, pool *ctgauss.Pool) *coalescer {
 }
 
 // draw fills out with the next len(out) samples of the pool's streams.
-func (c *coalescer) draw(out []int) {
-	c.pool.Take(out)
+// ctx cancels a draw blocked on a slow refill; pool-level failures
+// (ErrPoolDegraded, ErrClosed) propagate for the handler to map to a
+// response status.
+func (c *coalescer) draw(ctx context.Context, out []int) error {
+	return c.pool.Take(ctx, out)
 }
 
 func (c *coalescer) sigmaStats() sigmaStats {
@@ -53,5 +58,8 @@ func (c *coalescer) sigmaStats() sigmaStats {
 		refillsProduced:  es.RefillsProduced,
 		prefetchHits:     es.PrefetchHits,
 		prefetchMisses:   es.PrefetchMisses,
+		producerRestarts: es.ProducerRestarts,
+		refillsDiscarded: es.RefillsDiscarded,
+		shardsPoisoned:   es.ShardsPoisoned,
 	}
 }

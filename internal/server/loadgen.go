@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -39,6 +40,14 @@ type LoadConfig struct {
 	Message []byte
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
+	// Retries is the number of times a request rejected with 429 or 503
+	// is retried (0 = give up on the first rejection).  Each retry sleeps
+	// a jittered exponential backoff from RetryBackoff, floored by the
+	// server's Retry-After hint when one is sent.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry (default
+	// 25ms; doubles per attempt, capped at 2s before jitter).
+	RetryBackoff time.Duration
 }
 
 // LatencySummary condenses observed per-request latencies.
@@ -53,8 +62,13 @@ type LatencySummary struct {
 // analogue of samplebench -json).  Counters are designed to reconcile
 // with the daemon's /metrics: ctgaussd_requests_total counts
 // queue-admitted requests, so its deltas over the exercised endpoints
-// sum to Requests − Rejected; Samples matches
-// ctgaussd_samples_served_total, and so on.
+// sum to (Requests + Retries) − Rejected — each retry is its own HTTP
+// attempt, and each attempt the daemon sheds with 429 counts once in
+// Rejected; Samples matches ctgaussd_samples_served_total, and so on.
+// ServerCancelled is the daemon's own tally of requests whose context
+// ended mid-flight (ctgaussd_requests_cancelled_total summed over
+// endpoints) — under client timeouts it accounts for attempts that
+// were admitted but produced no samples.
 type LoadReport struct {
 	Target            string         `json:"target"`
 	Mode              string         `json:"mode"`
@@ -62,6 +76,7 @@ type LoadReport struct {
 	Requests          int            `json:"requests"`
 	Errors            int            `json:"errors"`
 	Rejected          int            `json:"rejected_429"`
+	Retries           int            `json:"retries"`
 	Samples           int            `json:"samples"`
 	ArbitrarySamples  int            `json:"arbitrary_samples"`
 	Signatures        int            `json:"signatures"`
@@ -70,6 +85,11 @@ type LoadReport struct {
 	RequestsPerSecond float64        `json:"requests_per_second"`
 	SamplesPerSecond  float64        `json:"samples_per_second"`
 	Latency           LatencySummary `json:"latency"`
+
+	// ServerCancelled reconciles against
+	// ctgaussd_requests_cancelled_total (summed over endpoints) after
+	// the run.
+	ServerCancelled uint64 `json:"server_cancelled"`
 
 	// Prefetch telemetry, reconciled against the daemon's /metrics after
 	// the run: hits and misses are the sums of
@@ -84,6 +104,7 @@ type LoadReport struct {
 // loadWorker accumulates one client's counts (merged after the run).
 type loadWorker struct {
 	requests, errors, rejected    int
+	retries                       int
 	samples, signatures, verifies int
 	arbitrary                     int
 	latencies                     []time.Duration
@@ -115,6 +136,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	if cfg.Message == nil {
 		cfg.Message = []byte("ctgaussload message")
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 	client := &http.Client{Timeout: cfg.Timeout}
 
@@ -172,6 +196,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				ep := endpoints[i%len(endpoints)]
 				t0 := time.Now()
 				err := doRequest(client, cfg, ep, sigB64, w)
+				for attempt := 0; attempt < cfg.Retries && isRetryable(err); attempt++ {
+					time.Sleep(retryDelay(cfg.RetryBackoff, attempt, err))
+					w.retries++
+					err = doRequest(client, cfg, ep, sigB64, w)
+				}
 				w.latencies = append(w.latencies, time.Since(t0))
 				w.requests++
 				if err != nil && !isRejection(err) {
@@ -197,6 +226,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		report.Requests += w.requests
 		report.Errors += w.errors
 		report.Rejected += w.rejected
+		report.Retries += w.retries
 		report.Samples += w.samples
 		report.ArbitrarySamples += w.arbitrary
 		report.Signatures += w.signatures
@@ -212,34 +242,38 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	// daemon that doesn't expose the series — or is unreachable now —
 	// just leaves the fields zero; the load counters above are already
 	// complete).
-	if hits, misses, err := scrapePrefetch(client, cfg.BaseURL); err == nil {
+	if hits, misses, cancelled, err := scrapeCounters(client, cfg.BaseURL); err == nil {
 		report.PrefetchHits, report.PrefetchMisses = hits, misses
 		if total := hits + misses; total > 0 {
 			report.PrefetchHitRatio = float64(hits) / float64(total)
 		}
+		report.ServerCancelled = cancelled
 	}
 	return report, nil
 }
 
-// scrapePrefetch sums the per-σ prefetch hit/miss counters from the
-// daemon's Prometheus exposition.
-func scrapePrefetch(client *http.Client, baseURL string) (hits, misses uint64, err error) {
+// scrapeCounters sums the per-σ prefetch hit/miss counters and the
+// per-endpoint cancellation counter from the daemon's Prometheus
+// exposition.
+func scrapeCounters(client *http.Client, baseURL string) (hits, misses, cancelled uint64, err error) {
 	resp, err := client.Get(baseURL + "/metrics")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	for _, line := range strings.Split(string(data), "\n") {
-		var name string
+		var dst *uint64
 		switch {
 		case strings.HasPrefix(line, "ctgaussd_prefetch_hits_total{"):
-			name = "hits"
+			dst = &hits
 		case strings.HasPrefix(line, "ctgaussd_prefetch_misses_total{"):
-			name = "misses"
+			dst = &misses
+		case strings.HasPrefix(line, "ctgaussd_requests_cancelled_total{"):
+			dst = &cancelled
 		default:
 			continue
 		}
@@ -251,19 +285,17 @@ func scrapePrefetch(client *http.Client, baseURL string) (hits, misses uint64, e
 		if perr != nil {
 			continue
 		}
-		if name == "hits" {
-			hits += v
-		} else {
-			misses += v
-		}
+		*dst += v
 	}
-	return hits, misses, nil
+	return hits, misses, cancelled, nil
 }
 
-// errHTTP marks a non-2xx response (the body's error message, if any).
+// errHTTP marks a non-2xx response (the body's error message, if any,
+// and the server's Retry-After hint when it sent one).
 type errHTTP struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *errHTTP) Error() string { return fmt.Sprintf("http %d: %s", e.status, e.msg) }
@@ -272,6 +304,29 @@ func (e *errHTTP) Error() string { return fmt.Sprintf("http %d: %s", e.status, e
 func isRejection(err error) bool {
 	he, ok := err.(*errHTTP)
 	return ok && he.status == http.StatusTooManyRequests
+}
+
+// isRetryable reports whether err is a response the daemon explicitly
+// asks clients to retry: 429 backpressure or 503 degraded/draining.
+func isRetryable(err error) bool {
+	he, ok := err.(*errHTTP)
+	return ok && (he.status == http.StatusTooManyRequests || he.status == http.StatusServiceUnavailable)
+}
+
+// retryDelay computes the sleep before retry number attempt (0-based):
+// full-jitter exponential backoff from base, doubled per attempt and
+// capped at 2s, floored by the server's Retry-After hint so a client
+// never comes back earlier than the daemon asked.
+func retryDelay(base time.Duration, attempt int, err error) time.Duration {
+	d := base << uint(attempt)
+	if max := 2 * time.Second; d > max || d <= 0 {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if he, ok := err.(*errHTTP); ok && he.retryAfter > d {
+		d = he.retryAfter
+	}
+	return d
 }
 
 // probeFeatures asks /healthz which optional endpoint groups the daemon
@@ -311,7 +366,11 @@ func postJSON(client *http.Client, url string, req, resp any) error {
 			Error string `json:"error"`
 		}
 		_ = json.Unmarshal(data, &e)
-		return &errHTTP{status: r.StatusCode, msg: e.Error}
+		he := &errHTTP{status: r.StatusCode, msg: e.Error}
+		if secs, perr := strconv.Atoi(r.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			he.retryAfter = time.Duration(secs) * time.Second
+		}
+		return he
 	}
 	return json.Unmarshal(data, resp)
 }

@@ -62,13 +62,14 @@ func (h *histogram) quantile(q float64) float64 {
 
 // endpointMetrics counts one endpoint's traffic.
 type endpointMetrics struct {
-	name     string
-	requests atomic.Uint64 // requests admitted past the drain gate AND the queue
-	errors   atomic.Uint64 // responses with status ≥ 400 (excluding 429)
-	rejected atomic.Uint64 // 429 backpressure rejections
-	refused  atomic.Uint64 // 503 drain-gate refusals
-	inflight atomic.Int64
-	lat      histogram
+	name      string
+	requests  atomic.Uint64 // requests admitted past the drain gate AND the queue
+	errors    atomic.Uint64 // responses with status ≥ 400 (excluding 429 and 499)
+	rejected  atomic.Uint64 // 429 backpressure rejections
+	refused   atomic.Uint64 // 503 drain-gate refusals
+	cancelled atomic.Uint64 // requests abandoned by cancellation or deadline
+	inflight  atomic.Int64
+	lat       histogram
 }
 
 // metrics is the server-wide counter set exported at /metrics.
@@ -109,6 +110,9 @@ type sigmaStats struct {
 	refillsProduced  uint64 // fills completed, including unconsumed lookahead
 	prefetchHits     uint64
 	prefetchMisses   uint64
+	producerRestarts uint64 // refill panics recovered (producer restarted)
+	refillsDiscarded uint64 // refills abandoned by a panicking fill
+	shardsPoisoned   int    // shards currently poisoned
 }
 
 // writePrometheus renders the whole counter set in Prometheus text
@@ -133,6 +137,11 @@ func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStat
 	fmt.Fprintln(w, "# TYPE ctgaussd_drain_refused_total counter")
 	for _, e := range m.endpoints {
 		fmt.Fprintf(w, "ctgaussd_drain_refused_total{endpoint=%q} %d\n", e.name, e.refused.Load())
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_requests_cancelled_total Requests abandoned by client cancellation or the per-request deadline.")
+	fmt.Fprintln(w, "# TYPE ctgaussd_requests_cancelled_total counter")
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "ctgaussd_requests_cancelled_total{endpoint=%q} %d\n", e.name, e.cancelled.Load())
 	}
 	fmt.Fprintln(w, "# HELP ctgaussd_inflight Requests currently being served per endpoint.")
 	fmt.Fprintln(w, "# TYPE ctgaussd_inflight gauge")
@@ -209,6 +218,34 @@ func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStat
 	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_misses_total counter")
 	for _, s := range sigmas {
 		fmt.Fprintf(w, "ctgaussd_prefetch_misses_total{sigma=%q} %d\n", s.sigma, s.prefetchMisses)
+	}
+
+	// Fault-isolation telemetry: the arbitrary layer's base engines are
+	// reported under sigma="arbitrary" so one series covers every engine
+	// in the process.
+	fmt.Fprintln(w, "# HELP ctgaussd_engine_producer_restarts_total Refill panics recovered per pool (the producer restarted after backoff).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_engine_producer_restarts_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_engine_producer_restarts_total{sigma=%q} %d\n", s.sigma, s.producerRestarts)
+	}
+	if arb != nil {
+		fmt.Fprintf(w, "ctgaussd_engine_producer_restarts_total{sigma=\"arbitrary\"} %d\n", arb.producerRestarts)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_engine_refills_discarded_total Refills abandoned by a panicking fill per pool (never served).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_engine_refills_discarded_total counter")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_engine_refills_discarded_total{sigma=%q} %d\n", s.sigma, s.refillsDiscarded)
+	}
+	if arb != nil {
+		fmt.Fprintf(w, "ctgaussd_engine_refills_discarded_total{sigma=\"arbitrary\"} %d\n", arb.refillsDiscarded)
+	}
+	fmt.Fprintln(w, "# HELP ctgaussd_engine_shards_poisoned Shards currently poisoned per pool (producer restarting or dead; draws fail over meanwhile).")
+	fmt.Fprintln(w, "# TYPE ctgaussd_engine_shards_poisoned gauge")
+	for _, s := range sigmas {
+		fmt.Fprintf(w, "ctgaussd_engine_shards_poisoned{sigma=%q} %d\n", s.sigma, s.shardsPoisoned)
+	}
+	if arb != nil {
+		fmt.Fprintf(w, "ctgaussd_engine_shards_poisoned{sigma=\"arbitrary\"} %d\n", arb.shardsPoisoned)
 	}
 
 	if arb != nil {

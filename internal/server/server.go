@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"slices"
@@ -58,6 +60,11 @@ type Config struct {
 	// (default 256); excess load is rejected with 429 instead of queueing
 	// without bound.
 	QueueDepth int
+	// RequestTimeout bounds each admitted request's handler (0 = no
+	// limit): the request context is cancelled at the deadline, so a draw
+	// stuck behind a poisoned shard's restart fails with 503 + Retry-After
+	// instead of holding its admission slot indefinitely.
+	RequestTimeout time.Duration
 
 	// DisableArbitrary turns off the free-form-(σ, μ) convolution layer:
 	// the /v1/arbitrary endpoint and the free-form σ fallback of
@@ -334,27 +341,80 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// retryAfterSeconds is the backoff hint sent with every 429 and 503:
+// both conditions clear on the order of an admission slot freeing or a
+// producer restart completing (the restart backoff caps at 250ms), so
+// one second is a safe, deliberately coarse retry cadence.
+const retryAfterSeconds = "1"
+
+// statusClientClosedRequest is the non-standard 499 recording a request
+// whose client went away before a response was written (the client
+// never sees it; it keeps the status recorder and logs honest).
+const statusClientClosedRequest = 499
+
+// writeUnavailable writes a 503 with the Retry-After hint — the shape of
+// every transient refusal (drain, degraded shard, server-side timeout).
+func writeUnavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// writeDrawError maps a draw failure to a response: cancellation →
+// 499 (client gone) or 503 + Retry-After (server-side deadline), both
+// counted in the endpoint's cancelled metric; a degraded or closing
+// pool → 503 + Retry-After; anything else is a request-validation error
+// (σ out of bounds, non-finite μ) → 400.
+func (s *Server) writeDrawError(w http.ResponseWriter, endpoint string, err error) {
+	em := s.m.endpoint(endpoint)
+	switch {
+	case errors.Is(err, context.Canceled):
+		em.cancelled.Add(1)
+		writeError(w, statusClientClosedRequest, "request cancelled")
+	case errors.Is(err, context.DeadlineExceeded):
+		em.cancelled.Add(1)
+		writeUnavailable(w, "request timed out waiting for samples")
+	case errors.Is(err, ctgauss.ErrPoolDegraded), errors.Is(err, ctgauss.ErrArbitraryDegraded), errors.Is(err, ctgauss.ErrClosed):
+		writeUnavailable(w, "sampling runtime unavailable: "+err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
 // endpoint wraps a handler with the serving discipline every /v1 route
-// shares: drain gate (503), bounded admission queue (429), in-flight
-// accounting, and latency/request metrics.
+// shares: drain gate (503), bounded admission queue (429), per-request
+// deadline, cancellation checks, in-flight accounting, and
+// latency/request metrics.  429 and 503 responses carry a Retry-After
+// hint so well-behaved clients back off instead of hammering.
 func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 	em := s.m.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.tryEnter() {
 			em.refused.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			writeUnavailable(w, "server is draining")
 			return
 		}
 		defer s.inflight.Done()
+		// A client that disconnected while upstream never takes an
+		// admission slot: its work would be thrown away anyway.
+		if r.Context().Err() != nil {
+			em.cancelled.Add(1)
+			return
+		}
 		queue := s.queues[name]
 		select {
 		case queue <- struct{}{}:
 		default:
 			em.rejected.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds)
 			writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
 			return
 		}
 		defer func() { <-queue }()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		if s.testHook != nil {
 			s.testHook(name)
 		}
@@ -365,7 +425,9 @@ func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		em.lat.observe(time.Since(start))
-		if rec.status >= 400 {
+		// 499s are client departures, not server faults; they have their
+		// own counter.
+		if rec.status >= 400 && rec.status != statusClientClosedRequest {
 			em.errors.Add(1)
 		}
 	})
@@ -436,14 +498,17 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		// layer (free-form σ), or report the precompiled menu when the
 		// layer is off.
 		if s.arb != nil {
-			s.serveFreeformSigma(w, req)
+			s.serveFreeformSigma(w, r, req)
 			return
 		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown sigma %q (served: %v)", req.Sigma, s.cfg.Sigmas))
 		return
 	}
 	out := make([]int, req.Count)
-	co.draw(out)
+	if err := co.draw(r.Context(), out); err != nil {
+		s.writeDrawError(w, epSamples, err)
+		return
+	}
 	s.m.samples.Add(uint64(req.Count))
 	writeJSON(w, http.StatusOK, samplesResponse{Sigma: req.Sigma, Count: req.Count, Samples: out})
 }
@@ -475,8 +540,12 @@ func (s *Server) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "message is not valid base64: "+err.Error())
 		return
 	}
-	sig, err := s.signers.Sign(msg)
+	sig, err := s.signers.SignContext(r.Context(), msg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.writeDrawError(w, epSign, err)
+			return
+		}
 		// Signing only fails when the attempt budget is exhausted —
 		// astronomically unlikely with a healthy key; report it as a
 		// server-side failure, not a client error.
@@ -570,9 +639,30 @@ func (s *Server) handleKey(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, keyResponse{Params: p.Name, N: p.N, PublicKey: s.pubEnc})
 }
 
+// shardHealthJSON is one shard's entry in a pool's /healthz listing.
+type shardHealthJSON struct {
+	Shard int `json:"shard"`
+	// Poisoned: the shard's last refill panicked and its producer is
+	// restarting with backoff (Dead=false) or out of budget (Dead=true);
+	// draws fail over to the remaining shards meanwhile.
+	Poisoned bool `json:"poisoned"`
+	Dead     bool `json:"dead"`
+	// Restarts counts recovered refill panics over the shard's lifetime.
+	Restarts         uint64 `json:"restarts"`
+	DiscardedRefills uint64 `json:"discarded_refills"`
+}
+
+// poolHealthJSON is one pool's per-shard health in /healthz ("arbitrary"
+// labels the free-form layer's merged base-engine view).
+type poolHealthJSON struct {
+	Sigma    string            `json:"sigma"`
+	Poisoned int               `json:"poisoned"` // shards currently poisoned
+	Shards   []shardHealthJSON `json:"shards"`
+}
+
 // healthResponse is the /healthz schema.
 type healthResponse struct {
-	Status        string   `json:"status"` // "ok" or "draining"
+	Status        string   `json:"status"` // "ok", "degraded" or "draining"
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Sigmas        []string `json:"sigmas"`
 	DefaultSigma  string   `json:"default_sigma"`
@@ -580,6 +670,11 @@ type healthResponse struct {
 	// Prefetch is the default-σ pool's resolved refill lookahead depth
 	// (0 = synchronous refill).
 	Prefetch int `json:"prefetch"`
+	// Pools lists per-shard fault-isolation state for every serving pool
+	// (σ pools plus, when enabled, the arbitrary layer under sigma
+	// "arbitrary").  Status is "degraded" while any shard is poisoned;
+	// the daemon still serves from the healthy shards.
+	Pools []poolHealthJSON `json:"pools"`
 	// Arbitrary describes the free-form-(σ, μ) layer when enabled: its
 	// base set and the admissible σ range.
 	Arbitrary         bool     `json:"arbitrary"`
@@ -590,28 +685,58 @@ type healthResponse struct {
 	FalconShards      int      `json:"falcon_shards,omitempty"`
 }
 
+// poolHealthOf renders one engine health snapshot for /healthz.
+func poolHealthOf(label string, hs []ctgauss.ShardHealth) poolHealthJSON {
+	ph := poolHealthJSON{Sigma: label}
+	for i, h := range hs {
+		if h.Poisoned {
+			ph.Poisoned++
+		}
+		ph.Shards = append(ph.Shards, shardHealthJSON{
+			Shard:            i,
+			Poisoned:         h.Poisoned,
+			Dead:             h.Dead,
+			Restarts:         h.Restarts,
+			DiscardedRefills: h.DiscardedRefills,
+		})
+	}
+	return ph
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	if s.isDraining() {
-		status = "draining"
-	}
 	resp := healthResponse{
-		Status:        status,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Sigmas:        s.cfg.Sigmas,
 		DefaultSigma:  s.defaultSigma,
 		PoolShards:    s.co[s.defaultSigma].pool.Size(),
 		Prefetch:      s.co[s.defaultSigma].pool.EngineStats().Prefetch,
 	}
+	for _, sigma := range s.cfg.Sigmas {
+		ph := poolHealthOf(sigma, s.co[sigma].pool.Health())
+		if ph.Poisoned > 0 {
+			status = "degraded"
+		}
+		resp.Pools = append(resp.Pools, ph)
+	}
 	if s.arb != nil {
 		resp.Arbitrary = true
 		resp.ArbitraryBases = s.arb.arb.Stats().Bases
 		resp.ArbitrarySigmaMin, resp.ArbitrarySigmaMax = s.arb.arb.Bounds()
+		ph := poolHealthOf("arbitrary", s.arb.arb.Health())
+		if ph.Poisoned > 0 {
+			status = "degraded"
+		}
+		resp.Pools = append(resp.Pools, ph)
 	}
 	if s.signers != nil {
 		resp.Falcon = s.signers.Public().Params.Name
 		resp.FalconShards = s.signers.Size()
 	}
+	if s.isDraining() {
+		status = "draining"
+	}
+	resp.Status = status
 	code := http.StatusOK
 	if status == "draining" {
 		code = http.StatusServiceUnavailable

@@ -1,8 +1,10 @@
 package ctgauss
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -13,6 +15,16 @@ import (
 	"ctgauss/internal/sampler"
 	"ctgauss/internal/sampler/gen"
 )
+
+// ErrClosed is returned by pool draws issued after (or racing) Close.
+var ErrClosed = engine.ErrClosed
+
+// ErrPoolDegraded is returned by pool draws when every shard is
+// poisoned: each one's producer panicked and is either restarting
+// (transient — retry after a backoff) or out of restart budget
+// (permanent).  While at least one shard is healthy, draws transparently
+// fail over to it and this error is never seen.
+var ErrPoolDegraded = errors.New("ctgauss: all pool shards poisoned")
 
 // Pool is the concurrent serving form of a sampler: one compiled circuit
 // shared by a fixed set of shards, each an independent sampler instance
@@ -31,8 +43,17 @@ import (
 // in either mode; what changes is who pays the evaluation latency.
 //
 // A Pool owns background goroutines in asynchronous mode: call Close
-// when done with it.  Draws concurrent with (or after) Close panic, so
-// serving layers must drain first — internal/server's gate does.
+// when done with it.  Draws concurrent with (or after) Close fail with
+// ErrClosed, so serving layers should still drain first —
+// internal/server's gate does — but a racing request degrades to an
+// error, not a process crash.
+//
+// A panic inside one shard's refill (a circuit bug, an entropy failure)
+// is contained by the engine runtime: the shard is poisoned, its
+// sampler state rebuilt from the shard seed at a refill boundary, and
+// its producer restarted with backoff, while draws fail over to the
+// remaining healthy shards.  Only when every shard is poisoned do draws
+// fail, with ErrPoolDegraded; Health exposes the per-shard state.
 //
 // The circuit comes from the process-wide build registry, so constructing
 // any number of pools for one configuration runs the expensive
@@ -46,6 +67,14 @@ type Pool struct {
 	picker   *engine.Picker
 	samplers []sampler.BatchSampler
 	width    int // batches per shard refill (1 on the compiled path)
+
+	// mkSampler rebuilds shard i's sampler from its domain-separated
+	// seed — the engine's Reset hook after a recovered refill panic.  A
+	// mid-fill panic may leave the old sampler's cursor and PRNG stream
+	// torn mid-batch; rebuilding restarts the shard's stream at its
+	// deterministic beginning, so post-recovery output is still pinned by
+	// the golden vectors.
+	mkSampler func(i int) (sampler.BatchSampler, error)
 }
 
 // DefaultPrefetch is the refill lookahead used when Config.Prefetch is
@@ -94,22 +123,29 @@ func NewPoolWithConfig(cfg Config, parallelism int) (*Pool, error) {
 	if useCompiled {
 		p.width = 1
 	}
-	p.samplers = make([]sampler.BatchSampler, parallelism)
-	for i := range p.samplers {
+	p.mkSampler = func(i int) (sampler.BatchSampler, error) {
 		src, err := prng.NewSource(cfg.PRNG, shardSeed(cfg.Seed, i))
 		if err != nil {
 			return nil, err
 		}
 		if useCompiled {
-			p.samplers[i] = sampler.NewCompiled(fmt.Sprintf("pool-compiled(%s)#%d", cfg.Sigma, i), fn, nin, nval, src)
-		} else {
-			p.samplers[i] = art.NewWideSampler(src, poolWidth)
+			return sampler.NewCompiled(fmt.Sprintf("pool-compiled(%s)#%d", cfg.Sigma, i), fn, nin, nval, src), nil
 		}
+		return art.NewWideSampler(src, poolWidth), nil
+	}
+	p.samplers = make([]sampler.BatchSampler, parallelism)
+	for i := range p.samplers {
+		s, err := p.mkSampler(i)
+		if err != nil {
+			return nil, err
+		}
+		p.samplers[i] = s
 	}
 	p.eng = engine.New(engine.Config{
 		Shards:   parallelism,
 		SlotSize: p.width * 64,
 		Depth:    resolvePrefetch(cfg.Prefetch),
+		Reset:    p.resetShard,
 	}, p.fillShard)
 	return p, nil
 }
@@ -134,6 +170,20 @@ func resolvePrefetch(prefetch int) int {
 func (p *Pool) fillShard(s int, dst []int) {
 	for off := 0; off < len(dst); off += 64 {
 		p.samplers[s].NextBatch(dst[off : off+64])
+	}
+}
+
+// resetShard is the engine's Reset hook: after a recovered refill panic
+// it replaces shard s's sampler with a fresh one built from the same
+// domain-separated seed, so the shard resumes at a clean refill boundary
+// with a deterministic stream.  It runs with the same exclusivity as
+// fillShard (the producer goroutine, or the ring lock in synchronous
+// mode), so the plain assignment is race-free.  If the rebuild itself
+// fails — it can only fail the way construction would have — the torn
+// sampler stays and the next fill's panic spends the restart budget.
+func (p *Pool) resetShard(s int) {
+	if fresh, err := p.mkSampler(s); err == nil {
+		p.samplers[s] = fresh
 	}
 }
 
@@ -162,26 +212,43 @@ func shardSeed(seed []byte, shard int) []byte {
 	return h.Sum(nil)
 }
 
-// Next returns one signed sample.  Safe for concurrent use.
-func (p *Pool) Next() int {
-	var v int
-	p.eng.ConsumeFrom(p.picker.Pick(), 1, func(chunk []int) { v = chunk[0] })
-	return v
+// consume draws n items from a healthy shard, failing over from
+// poisoned shards: starting at the picker's shard, it tries every shard
+// once before giving up with ErrPoolDegraded.  Close and cancellation
+// errors propagate unchanged.
+func (p *Pool) consume(ctx context.Context, n int, fn func(chunk []int)) error {
+	start := p.picker.Pick()
+	for i := 0; i < len(p.samplers); i++ {
+		s := (start + i) % len(p.samplers)
+		err := p.eng.ConsumeFrom(ctx, s, n, fn)
+		if err == nil || !errors.Is(err, engine.ErrShardPoisoned) {
+			return err
+		}
+	}
+	return ErrPoolDegraded
 }
 
-// NextBatch fills dst with 64 signed samples.  Safe for concurrent use;
-// each call is served whole by a single shard.  The length contract
-// matches Sampler.NextBatch: len(dst) < 64 panics, len(dst) ≥ 64
-// short-fills exactly dst[:64] and leaves the tail untouched.
+// Next returns one signed sample.  Safe for concurrent use.
+func (p *Pool) Next() (int, error) {
+	var v int
+	err := p.consume(nil, 1, func(chunk []int) { v = chunk[0] })
+	return v, err
+}
+
+// NextBatch fills dst[:64] with 64 signed samples.  Safe for concurrent
+// use; each call is served whole by a single shard.  The length
+// contract matches Sampler.NextBatch: len(dst) < 64 panics, len(dst) ≥
+// 64 short-fills exactly dst[:64] and leaves the tail untouched.  On a
+// non-nil error dst is undefined.
 //
 // The short-buffer rejection happens before a shard is claimed, so a
-// bad caller never poisons a shard for everyone else.
-func (p *Pool) NextBatch(dst []int) {
+// bad caller never wedges a shard for everyone else.
+func (p *Pool) NextBatch(dst []int) error {
 	if len(dst) < 64 {
 		panic(fmt.Sprintf("ctgauss: NextBatch dst has len %d, need ≥ 64", len(dst)))
 	}
 	n := 0
-	p.eng.ConsumeFrom(p.picker.Pick(), 64, func(chunk []int) {
+	return p.consume(nil, 64, func(chunk []int) {
 		n += copy(dst[n:64], chunk)
 	})
 }
@@ -193,22 +260,43 @@ func (p *Pool) NextBatch(dst []int) {
 // refill-by-refill across shards, so big concurrent draws spread over
 // the pool instead of serializing on one ring.  Safe for concurrent
 // use; the serving layer's coalescers are thin wrappers over Take.
-func (p *Pool) Take(dst []int) {
+//
+// ctx cancels a take blocked on a slow refill (nil never cancels); on
+// any error — ErrClosed, ErrPoolDegraded, ctx.Err() — dst's contents
+// are undefined and the caller must not serve them.
+func (p *Pool) Take(ctx context.Context, dst []int) error {
 	slot := p.width * 64
 	for len(dst) > 0 {
 		n := len(dst)
 		if n > slot {
 			n = slot
 		}
-		p.eng.TakeFrom(p.picker.Pick(), dst[:n])
+		k := 0
+		if err := p.consume(ctx, n, func(chunk []int) {
+			k += copy(dst[k:n], chunk)
+		}); err != nil {
+			return err
+		}
 		dst = dst[n:]
 	}
+	return nil
 }
 
 // Close stops the pool's background refill goroutines (a no-op in
 // synchronous mode beyond gating future draws).  Draws concurrent with
-// or after Close panic; callers own that ordering.
+// or after Close fail with ErrClosed; serving layers drain first so the
+// error is never served.
 func (p *Pool) Close() { p.eng.Close() }
+
+// ShardHealth is one shard's fault-isolation snapshot (see
+// internal/engine): whether it is poisoned (producer restarting after a
+// recovered panic) or dead (restart budget exhausted), plus lifetime
+// restart and discarded-refill counts.
+type ShardHealth = engine.ShardHealth
+
+// Health snapshots the per-shard fault-isolation state (restarts,
+// poisoned/dead flags, discarded refills), indexed by shard.
+func (p *Pool) Health() []ShardHealth { return p.eng.Health() }
 
 // Size returns the shard count.
 func (p *Pool) Size() int { return len(p.samplers) }
@@ -250,6 +338,10 @@ type EngineStats struct {
 	SamplesServed   uint64 // samples handed to callers
 	PrefetchHits    uint64 // draws served without waiting for a fill
 	PrefetchMisses  uint64 // draws that waited (async) or filled inline (sync)
+
+	ProducerRestarts uint64 // fills that panicked and were recovered
+	RefillsDiscarded uint64 // refills abandoned by a panicking fill
+	ShardsPoisoned   int    // shards currently poisoned (restarting or dead)
 }
 
 // HitRatio returns PrefetchHits / (PrefetchHits + PrefetchMisses), or 0
@@ -275,6 +367,9 @@ func (p *Pool) EngineStats() EngineStats {
 		SamplesServed:    l.ItemsConsumed,
 		PrefetchHits:     l.PrefetchHits,
 		PrefetchMisses:   l.PrefetchMisses,
+		ProducerRestarts: l.ProducerRestarts,
+		RefillsDiscarded: l.RefillsDiscarded,
+		ShardsPoisoned:   l.ShardsPoisoned,
 	}
 }
 

@@ -27,7 +27,10 @@ func TestPoolSamplesInSupport(t *testing.T) {
 	}
 	nonzero := 0
 	for i := 0; i < 1024; i++ {
-		v := p.Next()
+		v, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if v < -st.Support || v > st.Support {
 			t.Fatalf("sample %d out of support ±%d", v, st.Support)
 		}
@@ -65,10 +68,18 @@ func TestPoolConcurrentNextBatch(t *testing.T) {
 			var ls, lq float64
 			for i := 0; i < batchesEach; i++ {
 				if g2 := i % 2; g2 == 0 {
-					p.NextBatch(dst)
+					if err := p.NextBatch(dst); err != nil {
+						t.Error(err)
+						return
+					}
 				} else {
 					for j := range dst {
-						dst[j] = p.Next()
+						v, err := p.Next()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						dst[j] = v
 					}
 				}
 				for _, v := range dst {
@@ -118,15 +129,24 @@ func TestPoolDeterministicFromSeed(t *testing.T) {
 	}
 	a, b := mk(1), mk(1)
 	for i := 0; i < 1000; i++ {
-		if av, bv := a.Next(), b.Next(); av != bv {
+		av, aerr := a.Next()
+		bv, berr := b.Next()
+		if aerr != nil || berr != nil {
+			t.Fatalf("sample %d: %v / %v", i, aerr, berr)
+		}
+		if av != bv {
 			t.Fatalf("sample %d: %d vs %d", i, av, bv)
 		}
 	}
 	ma, mb := mk(3), mk(3)
 	for shard := 0; shard < 3; shard++ {
 		sa, sb := make([]int, 300), make([]int, 300)
-		ma.TakeFromShard(shard, sa)
-		mb.TakeFromShard(shard, sb)
+		if err := ma.TakeFromShard(shard, sa); err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.TakeFromShard(shard, sb); err != nil {
+			t.Fatal(err)
+		}
 		for i := range sa {
 			if sa[i] != sb[i] {
 				t.Fatalf("shard %d sample %d: %d vs %d", shard, i, sa[i], sb[i])
@@ -144,8 +164,12 @@ func TestPoolShardsIndependent(t *testing.T) {
 	}
 	defer p.Close()
 	s0, s1 := make([]int, 256), make([]int, 256)
-	p.TakeFromShard(0, s0)
-	p.TakeFromShard(1, s1)
+	if err := p.TakeFromShard(0, s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TakeFromShard(1, s1); err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range s0 {
 		if s0[i] != s1[i] {
@@ -174,7 +198,11 @@ func TestPoolCompiledPathMatchesInterpreter(t *testing.T) {
 	var sq float64
 	const n = 1 << 15
 	for i := 0; i < n; i++ {
-		v := float64(p.Next())
+		s, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := float64(s)
 		sq += v * v
 	}
 	if v := sq / n; math.Abs(v-4) > 0.3 {
