@@ -16,6 +16,7 @@
 //	ctgaussd -falcon-n 0                      # sampling only
 //	ctgaussd -arbitrary=false                 # precompiled σ menu only
 //	ctgaussd -arbitrary-bases 2,6.15543       # convolution base set
+//	ctgaussd -tier-promote-rps 5000           # promote hot free-form σ to compiled pools
 //	ctgaussd -falcon-kind convolve            # SamplerZ via the convolution layer
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
@@ -53,6 +54,9 @@ func main() {
 	arbitrary := flag.Bool("arbitrary", true, "serve free-form (σ, μ) at /v1/arbitrary and free-form σ at /v1/samples")
 	arbBases := flag.String("arbitrary-bases", "", "comma-separated base-set σ values for the convolution layer (default 2,6.15543)")
 	arbShards := flag.Int("arbitrary-shards", 0, "arbitrary sampler shards (0 = NumCPU)")
+	tierPromoteRPS := flag.Float64("tier-promote-rps", 0, "promote a free-form σ to a compiled pool when its sample rate reaches this (samples/sec over -tier-window; 0 disables tiering)")
+	tierMaxPools := flag.Int("tier-max-pools", 4, "concurrently promoted compiled pools")
+	tierWindow := flag.Duration("tier-window", 10*time.Second, "sliding window the tier promotion rate is measured over")
 	falconN := flag.Int("falcon-n", 512, "Falcon ring degree (256/512/1024); 0 disables the Falcon endpoints")
 	falconKind := flag.String("falcon-kind", "bitsliced", "base sampler: bitsliced, cdt, bytescan, linear, convolve")
 	falconShards := flag.Int("falcon-shards", 0, "signer pool shards (0 = NumCPU)")
@@ -99,6 +103,9 @@ func main() {
 		DisableArbitrary: !*arbitrary,
 		ArbitraryBases:   splitList(*arbBases),
 		ArbitraryShards:  *arbShards,
+		TierPromoteRPS:   *tierPromoteRPS,
+		TierMaxPools:     *tierMaxPools,
+		TierWindow:       *tierWindow,
 	}
 	buildStart := time.Now()
 	s, err := server.New(cfg)
@@ -107,6 +114,10 @@ func main() {
 	}
 	log.Printf("pools ready in %s (σ = %s, falcon-n = %d)",
 		time.Since(buildStart).Round(time.Millisecond), *sigmas, *falconN)
+	if s.Tier() != nil {
+		log.Printf("tiering: promote ≥ %g samples/s over %s (≤ %d pools)",
+			*tierPromoteRPS, *tierWindow, *tierMaxPools)
+	}
 	if !reproducible {
 		log.Printf("seed: fresh entropy (streams are not reproducible)")
 	} else {

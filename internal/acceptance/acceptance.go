@@ -68,7 +68,7 @@ func (g Gates) normalize() Gates {
 // CellResult is one grid cell's verdict: samples drawn from one surface
 // for one (σ, μ), cross-validated against the bigfp reference PMF.
 type CellResult struct {
-	// Surface is "compiled", "convolved", or "http".
+	// Surface is "compiled", "convolved", "promoted", or "http".
 	Surface string `json:"surface"`
 	// Endpoint refines the http surface: "samples", "samples-freeform",
 	// or "arbitrary".

@@ -11,6 +11,7 @@ import (
 	"ctgauss"
 	"ctgauss/internal/sampler/gen"
 	"ctgauss/internal/server"
+	"ctgauss/internal/tier"
 )
 
 // GridOptions configures a grid sweep.  The zero value selects the full
@@ -95,6 +96,9 @@ func RunGrid(opt GridOptions) (*GridReport, error) {
 	if err := sweepConvolved(opt, rep); err != nil {
 		return nil, err
 	}
+	if err := sweepPromoted(opt, rep); err != nil {
+		return nil, err
+	}
 	if err := sweepHTTP(opt, rep); err != nil {
 		return nil, err
 	}
@@ -173,6 +177,61 @@ func sweepConvolved(opt GridOptions, rep *GridReport) error {
 			}
 			opt.record(rep, c)
 		}
+	}
+	return nil
+}
+
+// promotedSigmas is the promoted-tier surface: free-form σ values a
+// tier controller has promoted onto compiled pools.  They deliberately
+// overlap the convolved grid, so the same key is gated on both the tier
+// it starts on and the tier it is promoted to.
+func promotedSigmas(smoke bool) []float64 {
+	if smoke {
+		return []float64{2.5}
+	}
+	return []float64{2.5, 3.3}
+}
+
+// sweepPromoted drives each promoted cell through a real tier
+// controller — ForcePromote builds the compiled pool exactly as the
+// daemon's background promotion would, and the draw goes through the
+// refcounted Acquire path — so the gate covers the samples a client
+// sees after a key's promotion, μ = 0 (the only center the compiled
+// tier serves).
+func sweepPromoted(opt GridOptions, rep *GridReport) error {
+	ctrl, err := tier.New(tier.Config{
+		// No ticker: the harness owns every transition.
+		Tick: -1,
+		Build: func(sigma string) (tier.Pool, error) {
+			return ctgauss.NewPoolWithConfig(ctgauss.Config{
+				Sigma:   sigma,
+				Seed:    deriveSeed("grid/promoted/" + sigma),
+				PRNG:    opt.PRNG,
+				Workers: opt.Workers,
+			}, 2)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("acceptance: tier controller: %w", err)
+	}
+	defer ctrl.Close()
+	for _, sigma := range promotedSigmas(opt.Smoke) {
+		if err := ctrl.ForcePromote(sigma); err != nil {
+			return fmt.Errorf("acceptance: promoting σ=%g: %w", sigma, err)
+		}
+		pool, release, ok := ctrl.Acquire(sigma)
+		if !ok {
+			return fmt.Errorf("acceptance: σ=%g not acquirable after promotion", sigma)
+		}
+		dst := make([]int, opt.SamplesPerCell)
+		err := pool.Take(nil, dst)
+		release()
+		if err != nil {
+			return fmt.Errorf("acceptance: drawing promoted σ=%g: %w", sigma, err)
+		}
+		c := evalCell(dst, sigma, 0, opt.Prec, opt.Gates)
+		c.Surface = "promoted"
+		opt.record(rep, c)
 	}
 	return nil
 }

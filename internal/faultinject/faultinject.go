@@ -34,6 +34,11 @@ const (
 	// reader is consumed — usually inside an engine fill, whose recovery
 	// then contains it.
 	PRNGReadError = "prng.read.error"
+	// TierBuildFail panics inside the tier controller's background
+	// compiled-pool build (upstream of the Build hook), modeling a
+	// promotion build failure — the key must keep serving from the
+	// convolved tier with no error surfaced to clients.
+	TierBuildFail = "tier.build.fail"
 )
 
 // AnyShard matches every shard index (including the -1 that non-sharded

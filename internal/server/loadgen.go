@@ -48,6 +48,17 @@ type LoadConfig struct {
 	// RetryBackoff is the base backoff before the first retry (default
 	// 25ms; doubles per attempt, capped at 2s before jitter).
 	RetryBackoff time.Duration
+
+	// HotKey turns arbitrary mode into a tier-promotion benchmark: one
+	// full load phase against the convolved tier, a wait (bounded by
+	// HotKeyTimeout) for the daemon's tier controller to promote the σ,
+	// then a second identical phase against the compiled tier.  The
+	// report's HotKey block carries ns/sample before and after.  Requires
+	// a daemon running with -tier-promote-rps > 0.
+	HotKey bool
+	// HotKeyTimeout bounds the promotion wait (default 60s).  On timeout
+	// the after-phase still runs (the report then shows promoted=false).
+	HotKeyTimeout time.Duration
 }
 
 // LatencySummary condenses observed per-request latencies.
@@ -99,6 +110,39 @@ type LoadReport struct {
 	PrefetchHits     uint64  `json:"prefetch_hits"`
 	PrefetchMisses   uint64  `json:"prefetch_misses"`
 	PrefetchHitRatio float64 `json:"prefetch_hit_ratio"`
+
+	// HotKey is the tier-promotion benchmark block (HotKey mode only).
+	HotKey *HotKeyReport `json:"hotkey,omitempty"`
+}
+
+// HotKeyReport is the before/after ledger of one σ's promotion from the
+// convolved tier to a compiled pool.
+type HotKeyReport struct {
+	// Sigma is the hot key (decimal spelling as requested).
+	Sigma string `json:"sigma"`
+	// Promoted reports whether the daemon promoted the key within
+	// HotKeyTimeout; false means the after-phase still ran convolved and
+	// Improvement is meaningless.
+	Promoted bool `json:"promoted"`
+	// PromotionWaitSeconds is how long after the first phase the key took
+	// to reach the compiled tier.
+	PromotionWaitSeconds float64 `json:"promotion_wait_seconds"`
+	// NsPerSampleBefore/After are the daemon's own per-tier sampling
+	// costs over each phase — Δ ctgaussd_tier_sample_seconds_total /
+	// Δ ctgaussd_tier_samples_total scraped at the phase boundaries
+	// (before from the convolved ledger, after from the compiled one).
+	// That is time inside the sampler call itself, transport excluded:
+	// the figure a promotion changes and the one comparable with
+	// samplebench's BENCH_PR4 numbers.
+	NsPerSampleBefore float64 `json:"ns_per_sample_before"`
+	NsPerSampleAfter  float64 `json:"ns_per_sample_after"`
+	// Improvement is NsPerSampleBefore / NsPerSampleAfter.
+	Improvement float64 `json:"improvement"`
+	// ClientNsPerSample{Before,After} are the end-to-end figures for the
+	// same phases (request latency / samples, HTTP and JSON included) —
+	// what a client observes, floor-bounded by transport.
+	ClientNsPerSampleBefore float64 `json:"client_ns_per_sample_before"`
+	ClientNsPerSampleAfter  float64 `json:"client_ns_per_sample_after"`
 }
 
 // loadWorker accumulates one client's counts (merged after the run).
@@ -185,34 +229,125 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
-	workers := make([]loadWorker, cfg.Clients)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for c := 0; c < cfg.Clients; c++ {
-		wg.Add(1)
-		go func(w *loadWorker) {
-			defer wg.Done()
-			for i := 0; i < cfg.Requests; i++ {
-				ep := endpoints[i%len(endpoints)]
-				t0 := time.Now()
-				err := doRequest(client, cfg, ep, sigB64, w)
-				for attempt := 0; attempt < cfg.Retries && isRetryable(err); attempt++ {
-					time.Sleep(retryDelay(cfg.RetryBackoff, attempt, err))
-					w.retries++
-					err = doRequest(client, cfg, ep, sigB64, w)
+	runPhase := func() ([]loadWorker, time.Duration) {
+		workers := make([]loadWorker, cfg.Clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func(w *loadWorker) {
+				defer wg.Done()
+				for i := 0; i < cfg.Requests; i++ {
+					ep := endpoints[i%len(endpoints)]
+					t0 := time.Now()
+					err := doRequest(client, cfg, ep, sigB64, w)
+					for attempt := 0; attempt < cfg.Retries && isRetryable(err); attempt++ {
+						time.Sleep(retryDelay(cfg.RetryBackoff, attempt, err))
+						w.retries++
+						err = doRequest(client, cfg, ep, sigB64, w)
+					}
+					w.latencies = append(w.latencies, time.Since(t0))
+					w.requests++
+					if err != nil && !isRejection(err) {
+						// 429s count as Rejected only: backpressure working
+						// as designed is not a failure of the run.
+						w.errors++
+					}
 				}
-				w.latencies = append(w.latencies, time.Since(t0))
-				w.requests++
-				if err != nil && !isRejection(err) {
-					// 429s count as Rejected only: backpressure working
-					// as designed is not a failure of the run.
-					w.errors++
-				}
-			}
-		}(&workers[c])
+			}(&workers[c])
+		}
+		wg.Wait()
+		return workers, time.Since(start)
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+
+	var hot *HotKeyReport
+	if cfg.HotKey {
+		if cfg.Mode != "arbitrary" {
+			return nil, fmt.Errorf("loadgen: hot-key benchmarking needs mode \"arbitrary\", not %q", cfg.Mode)
+		}
+		if cfg.HotKeyTimeout <= 0 {
+			cfg.HotKeyTimeout = 60 * time.Second
+		}
+		hotSigma := cfg.Sigma
+		if hotSigma == "" {
+			hotSigma = "3.3"
+		}
+		sigmaF, perr := strconv.ParseFloat(hotSigma, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("loadgen: hot-key σ %q: %w", hotSigma, perr)
+		}
+		// Fail before spending a load phase if the daemon cannot promote.
+		if _, terr := probeTierState(client, cfg.BaseURL, sigmaF); terr != nil {
+			return nil, fmt.Errorf("loadgen: hot-key mode: %w", terr)
+		}
+		hot = &HotKeyReport{Sigma: hotSigma}
+	}
+
+	// The hot-key phases bracket the daemon's per-tier sampling ledger:
+	// the before figure is the convolved ledger's delta over phase one,
+	// the after figure the compiled ledger's delta over phase two, so
+	// the wait-loop trickle between them counts in neither.
+	var led0 tierLedger
+	if hot != nil {
+		var lerr error
+		if led0, lerr = scrapeTierLedger(client, cfg.BaseURL); lerr != nil {
+			return nil, fmt.Errorf("loadgen: hot-key mode: tier ledger scrape: %w", lerr)
+		}
+	}
+	workers, elapsed := runPhase()
+	if hot != nil {
+		clientNsPer := func(ws []loadWorker) float64 {
+			var lat time.Duration
+			var samples int
+			for i := range ws {
+				for _, d := range ws[i].latencies {
+					lat += d
+				}
+				samples += ws[i].arbitrary
+			}
+			if samples == 0 {
+				return 0
+			}
+			return float64(lat.Nanoseconds()) / float64(samples)
+		}
+		led1, lerr := scrapeTierLedger(client, cfg.BaseURL)
+		if lerr != nil {
+			return nil, fmt.Errorf("loadgen: hot-key mode: tier ledger scrape: %w", lerr)
+		}
+		hot.NsPerSampleBefore = led1.convolvedNsPerSample(led0)
+		hot.ClientNsPerSampleBefore = clientNsPer(workers)
+		// Keep the key hot with a trickle of single requests while the
+		// daemon's tier controller notices and builds the compiled pool.
+		sigmaF, _ := strconv.ParseFloat(hot.Sigma, 64)
+		waitStart := time.Now()
+		for time.Since(waitStart) < cfg.HotKeyTimeout {
+			var scratch loadWorker
+			_ = doRequest(client, cfg, "arbitrary", "", &scratch)
+			state, terr := probeTierState(client, cfg.BaseURL, sigmaF)
+			if terr == nil && state == "compiled" {
+				hot.Promoted = true
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		hot.PromotionWaitSeconds = time.Since(waitStart).Seconds()
+		led2, lerr := scrapeTierLedger(client, cfg.BaseURL)
+		if lerr != nil {
+			return nil, fmt.Errorf("loadgen: hot-key mode: tier ledger scrape: %w", lerr)
+		}
+		after, afterElapsed := runPhase()
+		led3, lerr := scrapeTierLedger(client, cfg.BaseURL)
+		if lerr != nil {
+			return nil, fmt.Errorf("loadgen: hot-key mode: tier ledger scrape: %w", lerr)
+		}
+		hot.NsPerSampleAfter = led3.compiledNsPerSample(led2)
+		hot.ClientNsPerSampleAfter = clientNsPer(after)
+		if hot.NsPerSampleAfter > 0 {
+			hot.Improvement = hot.NsPerSampleBefore / hot.NsPerSampleAfter
+		}
+		workers = append(workers, after...)
+		elapsed += afterElapsed // promotion wait excluded: throughput reflects load phases only
+	}
 
 	report := &LoadReport{
 		Target:          cfg.BaseURL,
@@ -238,6 +373,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		report.SamplesPerSecond = float64(report.Samples) / elapsed.Seconds()
 	}
 	report.Latency = summarize(lats)
+	report.HotKey = hot
 	// Reconcile the prefetch ledger against the daemon's own /metrics (a
 	// daemon that doesn't expose the series — or is unreachable now —
 	// just leaves the fields zero; the load counters above are already
@@ -290,6 +426,71 @@ func scrapeCounters(client *http.Client, baseURL string) (hits, misses, cancelle
 	return hits, misses, cancelled, nil
 }
 
+// tierLedger is one scrape of the daemon's per-tier sampling ledgers:
+// cumulative samples and in-sampler seconds for each tier.
+type tierLedger struct {
+	compiledSamples, convolvedSamples uint64
+	compiledSeconds, convolvedSeconds float64
+}
+
+// convolvedNsPerSample is the convolved tier's mean in-sampler cost per
+// sample over the interval from prev to l (0 with no samples).
+func (l tierLedger) convolvedNsPerSample(prev tierLedger) float64 {
+	ds := l.convolvedSamples - prev.convolvedSamples
+	if ds == 0 {
+		return 0
+	}
+	return (l.convolvedSeconds - prev.convolvedSeconds) * 1e9 / float64(ds)
+}
+
+// compiledNsPerSample is the compiled tier's counterpart.
+func (l tierLedger) compiledNsPerSample(prev tierLedger) float64 {
+	ds := l.compiledSamples - prev.compiledSamples
+	if ds == 0 {
+		return 0
+	}
+	return (l.compiledSeconds - prev.compiledSeconds) * 1e9 / float64(ds)
+}
+
+// scrapeTierLedger reads ctgaussd_tier_samples_total and
+// ctgaussd_tier_sample_seconds_total for both tiers from /metrics.
+func scrapeTierLedger(client *http.Client, baseURL string) (tierLedger, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return tierLedger{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return tierLedger{}, err
+	}
+	var led tierLedger
+	seen := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case `ctgaussd_tier_samples_total{tier="compiled"}`:
+			led.compiledSamples, _ = strconv.ParseUint(fields[1], 10, 64)
+		case `ctgaussd_tier_samples_total{tier="convolved"}`:
+			led.convolvedSamples, _ = strconv.ParseUint(fields[1], 10, 64)
+		case `ctgaussd_tier_sample_seconds_total{tier="compiled"}`:
+			led.compiledSeconds, _ = strconv.ParseFloat(fields[1], 64)
+		case `ctgaussd_tier_sample_seconds_total{tier="convolved"}`:
+			led.convolvedSeconds, _ = strconv.ParseFloat(fields[1], 64)
+		default:
+			continue
+		}
+		seen++
+	}
+	if seen != 4 {
+		return tierLedger{}, fmt.Errorf("daemon exposes no per-tier sampling ledger (%d/4 series found)", seen)
+	}
+	return led, nil
+}
+
 // errHTTP marks a non-2xx response (the body's error message, if any,
 // and the server's Retry-After hint when it sent one).
 type errHTTP struct {
@@ -327,6 +528,37 @@ func retryDelay(base time.Duration, attempt int, err error) time.Duration {
 		d = he.retryAfter
 	}
 	return d
+}
+
+// probeTierState reads σ's tier state from /healthz.  An untracked key
+// reads "convolved"; a daemon running without the tier controller is an
+// error (hot-key mode cannot mean anything against it).
+func probeTierState(client *http.Client, baseURL string, sigma float64) (string, error) {
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var hr struct {
+		Tier *struct {
+			Keys []struct {
+				Sigma float64 `json:"sigma"`
+				State string  `json:"state"`
+			} `json:"keys"`
+		} `json:"tier"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return "", err
+	}
+	if hr.Tier == nil {
+		return "", fmt.Errorf("daemon runs without tiering (start it with -tier-promote-rps)")
+	}
+	for _, k := range hr.Tier.Keys {
+		if k.Sigma == sigma {
+			return k.State, nil
+		}
+	}
+	return "convolved", nil
 }
 
 // probeFeatures asks /healthz which optional endpoint groups the daemon

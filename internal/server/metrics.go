@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"ctgauss/internal/tier"
 )
 
 // latBuckets is the number of power-of-two latency histogram buckets:
@@ -78,6 +80,17 @@ type metrics struct {
 	samples   atomic.Uint64      // Gaussian samples served
 	signs     atomic.Uint64      // signatures produced
 	verifies  atomic.Uint64      // verification requests evaluated
+
+	// Per-tier ledgers of the free-form serving path: every /v1/arbitrary
+	// and free-form /v1/samples sample lands in exactly one of the two.
+	// The nanos ledgers hold the time spent inside the sampler call
+	// itself (pool.Take or arb.NextBatch) — transport excluded — so
+	// Δseconds/Δsamples is the serving-path sampling cost a promotion
+	// changes, comparable across tiers and with BENCH_PR4's numbers.
+	tierCompiledSamples  atomic.Uint64
+	tierConvolvedSamples atomic.Uint64
+	tierCompiledNanos    atomic.Uint64
+	tierConvolvedNanos   atomic.Uint64
 }
 
 func newMetrics(endpointNames []string) *metrics {
@@ -115,9 +128,17 @@ type sigmaStats struct {
 	shardsPoisoned   int    // shards currently poisoned
 }
 
+// tierScrape is the tier controller's state joined into the scrape by
+// the server (nil when tiering is disabled).
+type tierScrape struct {
+	stats tier.Stats
+	keys  []tier.KeyInfo // sorted by σ
+}
+
 // writePrometheus renders the whole counter set in Prometheus text
-// exposition format.  arb is nil when the arbitrary layer is disabled.
-func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStats, draining bool) {
+// exposition format.  arb is nil when the arbitrary layer is disabled;
+// ts is nil when the tier controller is.
+func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStats, ts *tierScrape, draining bool) {
 	fmt.Fprintln(w, "# HELP ctgaussd_requests_total Requests admitted per endpoint (past the drain gate and the admission queue; 429 rejections are counted separately).")
 	fmt.Fprintln(w, "# TYPE ctgaussd_requests_total counter")
 	for _, e := range m.endpoints {
@@ -274,6 +295,45 @@ func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStat
 		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_shards Shard count of the arbitrary sampler.")
 		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_shards gauge")
 		fmt.Fprintf(w, "ctgaussd_arbitrary_shards %d\n", arb.shards)
+		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_sigma_samples_total Samples served per free-form sigma, both tiers (capped tracking; see _sigmas_overflow).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_sigma_samples_total counter")
+		for _, ss := range arb.sigmaSamples {
+			fmt.Fprintf(w, "ctgaussd_arbitrary_sigma_samples_total{sigma=%q} %d\n", tier.SigmaString(ss.sigma), ss.samples)
+		}
+	}
+
+	if ts != nil {
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_samples_total Free-form samples served per tier (compiled = promoted pool, convolved = convolution fallback).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_samples_total counter")
+		fmt.Fprintf(w, "ctgaussd_tier_samples_total{tier=\"compiled\"} %d\n", m.tierCompiledSamples.Load())
+		fmt.Fprintf(w, "ctgaussd_tier_samples_total{tier=\"convolved\"} %d\n", m.tierConvolvedSamples.Load())
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_sample_seconds_total Time spent inside the sampler per tier (pool.Take / convolution draw; transport excluded — divide by _tier_samples_total for ns-per-sample).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_sample_seconds_total counter")
+		fmt.Fprintf(w, "ctgaussd_tier_sample_seconds_total{tier=\"compiled\"} %g\n", float64(m.tierCompiledNanos.Load())/1e9)
+		fmt.Fprintf(w, "ctgaussd_tier_sample_seconds_total{tier=\"convolved\"} %g\n", float64(m.tierConvolvedNanos.Load())/1e9)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_promotions_total Hot keys promoted onto compiled pools (build completed and installed).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_promotions_total counter")
+		fmt.Fprintf(w, "ctgaussd_tier_promotions_total %d\n", ts.stats.Promotions)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_demotions_total Compiled keys demoted back to the convolved tier (drain started).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_demotions_total counter")
+		fmt.Fprintf(w, "ctgaussd_tier_demotions_total %d\n", ts.stats.Demotions)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_builds_failed_total Promotion builds that errored or panicked (key stayed convolved).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_builds_failed_total counter")
+		fmt.Fprintf(w, "ctgaussd_tier_builds_failed_total %d\n", ts.stats.BuildsFailed)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_builds_deferred_total Promotion ticks skipped while the base set was degraded.")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_builds_deferred_total counter")
+		fmt.Fprintf(w, "ctgaussd_tier_builds_deferred_total %d\n", ts.stats.BuildsDeferred)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_pools Compiled pools currently held by the tier controller (building + compiled + draining).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_pools gauge")
+		fmt.Fprintf(w, "ctgaussd_tier_pools %d\n", ts.stats.Pools)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_pools_max Configured compiled-pool budget.")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_pools_max gauge")
+		fmt.Fprintf(w, "ctgaussd_tier_pools_max %d\n", ts.stats.MaxPools)
+		fmt.Fprintln(w, "# HELP ctgaussd_tier_state Tier state per tracked sigma (0=convolved, 1=building, 2=compiled, 3=draining).")
+		fmt.Fprintln(w, "# TYPE ctgaussd_tier_state gauge")
+		for _, k := range ts.keys {
+			fmt.Fprintf(w, "ctgaussd_tier_state{sigma=%q} %d\n", tier.SigmaString(k.Sigma), int32(k.State))
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP ctgaussd_draining Whether the server is draining (1) or accepting requests (0).")

@@ -14,6 +14,7 @@ import (
 
 	"ctgauss"
 	"ctgauss/falcon"
+	"ctgauss/internal/tier"
 )
 
 // Config wires a Server.  The zero value of optional fields picks the
@@ -78,6 +79,26 @@ type Config struct {
 	// ArbitraryShards is the arbitrary sampler's shard count (0 =
 	// NumCPU).
 	ArbitraryShards int
+
+	// TierPromoteRPS enables hot-(σ, μ=0) tiering when > 0: free-form σ
+	// keys whose sliding-window sample rate reaches this threshold are
+	// promoted in the background onto direct compiled pools (the
+	// convolved tier costs 4–20× more per sample — see BENCH_PR4 vs
+	// BENCH_PR8).  0 disables the tier controller entirely.  Requires the
+	// arbitrary layer (DisableArbitrary=false).
+	TierPromoteRPS float64
+	// TierDemoteRPS is the demotion threshold (default TierPromoteRPS/4;
+	// the hysteresis band prevents build/drain thrash).
+	TierDemoteRPS float64
+	// TierWindow is the sliding-window length rates are measured over
+	// (default 10s); promotions are evaluated every quarter window.
+	TierWindow time.Duration
+	// TierMaxPools bounds concurrently promoted compiled pools
+	// (default 4).
+	TierMaxPools int
+	// TierMaxSigma is the widest σ worth compiling directly (default 64;
+	// exact minimization cost grows with the support ⌈τσ⌉).
+	TierMaxSigma float64
 }
 
 // Endpoint names used for metrics and admission queues.
@@ -96,7 +117,8 @@ type Server struct {
 	cfg          Config
 	defaultSigma string
 	co           map[string]*coalescer
-	arb          *arbco // nil when the arbitrary layer is disabled
+	arb          *arbco           // nil when the arbitrary layer is disabled
+	tier         *tier.Controller // nil when tiering is disabled
 	signers      *falcon.SignerPool
 	pubEnc       string // base64 EncodePublic, fixed at startup
 	m            *metrics
@@ -209,6 +231,33 @@ func New(cfg Config) (*Server, error) {
 		s.arb = newArbco(arb)
 	}
 
+	if s.arb != nil && cfg.TierPromoteRPS > 0 {
+		tc, err := tier.New(tier.Config{
+			PromoteRPS: cfg.TierPromoteRPS,
+			DemoteRPS:  cfg.TierDemoteRPS,
+			Window:     cfg.TierWindow,
+			MaxPools:   cfg.TierMaxPools,
+			MaxSigma:   cfg.TierMaxSigma,
+			// A promoted pool derives its seed exactly as a -sigmas
+			// deployment of the same σ would (PoolSeed + registry artifact),
+			// so promotion changes which machinery serves the key, never the
+			// stream a fixed deployment of that σ would serve.
+			Build: func(sigma string) (tier.Pool, error) {
+				return ctgauss.NewPoolWithConfig(ctgauss.Config{
+					Sigma:    sigma,
+					Seed:     PoolSeed(cfg.Seed, sigma),
+					PRNG:     cfg.PRNG,
+					Prefetch: cfg.Prefetch,
+				}, cfg.PoolShards)
+			},
+			Degraded: s.arb.degraded,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: tier controller: %w", err)
+		}
+		s.tier = tc
+	}
+
 	sk := cfg.FalconKey
 	if sk == nil && cfg.FalconN != 0 {
 		seed := cfg.FalconSeed
@@ -276,6 +325,11 @@ func (s *Server) ArbitraryBounds() (min, max float64, ok bool) {
 // FalconEnabled reports whether the Falcon endpoints are mounted.
 func (s *Server) FalconEnabled() bool { return s.signers != nil }
 
+// Tier returns the hot-key promotion controller, or nil when tiering is
+// disabled.  Exported for tests and the acceptance harness, which force
+// transitions to pin the promoted surface deterministically.
+func (s *Server) Tier() *tier.Controller { return s.tier }
+
 // Drain gracefully stops the server: new requests are refused with 503
 // while requests already admitted run to completion; Drain returns once
 // the last one finishes.  The HTTP listener itself is the caller's to
@@ -294,6 +348,11 @@ func (s *Server) Drain() {
 func (s *Server) Close() {
 	s.Drain()
 	s.closeOnce.Do(func() {
+		// The tier controller first: it drains and closes the promoted
+		// pools it owns (no request can be mid-draw after Drain).
+		if s.tier != nil {
+			s.tier.Close()
+		}
 		for _, co := range s.co {
 			co.pool.Close()
 		}
@@ -681,8 +740,41 @@ type healthResponse struct {
 	ArbitraryBases    []string `json:"arbitrary_bases,omitempty"`
 	ArbitrarySigmaMin float64  `json:"arbitrary_sigma_min,omitempty"`
 	ArbitrarySigmaMax float64  `json:"arbitrary_sigma_max,omitempty"`
-	Falcon            string   `json:"falcon,omitempty"` // parameter-set name
-	FalconShards      int      `json:"falcon_shards,omitempty"`
+	// Tier describes the hot-key promotion controller when enabled:
+	// thresholds, pool budget, and every tracked σ's tier state.
+	Tier         *tierHealthJSON `json:"tier,omitempty"`
+	Falcon       string          `json:"falcon,omitempty"` // parameter-set name
+	FalconShards int             `json:"falcon_shards,omitempty"`
+}
+
+// tierKeyHealthJSON is one tracked σ's tier state in /healthz.
+type tierKeyHealthJSON struct {
+	Sigma float64 `json:"sigma"`
+	// State is "convolved", "building", "compiled" or "draining".
+	State string `json:"state"`
+	// RatePerSec is the sliding-window μ=0 sample rate.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Samples is the lifetime observed sample count for this σ.
+	Samples uint64 `json:"samples"`
+	// BuildResolving is set for building keys whose circuit resolution is
+	// currently in flight in the process-wide registry (as opposed to a
+	// build queued behind the registry's singleflight or finishing pool
+	// assembly).
+	BuildResolving bool `json:"build_resolving,omitempty"`
+}
+
+// tierHealthJSON is the /healthz tier block.
+type tierHealthJSON struct {
+	PromoteRPS     float64             `json:"promote_rps"`
+	DemoteRPS      float64             `json:"demote_rps"`
+	WindowSeconds  float64             `json:"window_seconds"`
+	MaxPools       int                 `json:"max_pools"`
+	Pools          int                 `json:"pools"` // building + compiled + draining
+	Promotions     uint64              `json:"promotions"`
+	Demotions      uint64              `json:"demotions"`
+	BuildsFailed   uint64              `json:"builds_failed"`
+	BuildsDeferred uint64              `json:"builds_deferred"`
+	Keys           []tierKeyHealthJSON `json:"keys,omitempty"`
 }
 
 // poolHealthOf renders one engine health snapshot for /healthz.
@@ -729,6 +821,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Pools = append(resp.Pools, ph)
 	}
+	if s.tier != nil {
+		tcfg := s.tier.Config()
+		tst := s.tier.Stats()
+		th := &tierHealthJSON{
+			PromoteRPS:     tcfg.PromoteRPS,
+			DemoteRPS:      tcfg.DemoteRPS,
+			WindowSeconds:  tcfg.Window.Seconds(),
+			MaxPools:       tst.MaxPools,
+			Pools:          tst.Pools,
+			Promotions:     tst.Promotions,
+			Demotions:      tst.Demotions,
+			BuildsFailed:   tst.BuildsFailed,
+			BuildsDeferred: tst.BuildsDeferred,
+		}
+		for _, k := range s.tier.Snapshot() {
+			kh := tierKeyHealthJSON{
+				Sigma:      k.Sigma,
+				State:      k.State.String(),
+				RatePerSec: k.Rate,
+				Samples:    k.Samples,
+			}
+			if k.State == tier.Building {
+				kh.BuildResolving = ctgauss.BuildInFlight(ctgauss.Config{Sigma: tier.SigmaString(k.Sigma)})
+			}
+			th.Keys = append(th.Keys, kh)
+		}
+		resp.Tier = th
+	}
 	if s.signers != nil {
 		resp.Falcon = s.signers.Public().Params.Name
 		resp.FalconShards = s.signers.Size()
@@ -754,6 +874,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.arb.stats()
 		arb = &st
 	}
+	var ts *tierScrape
+	if s.tier != nil {
+		ts = &tierScrape{stats: s.tier.Stats(), keys: s.tier.Snapshot()}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.writePrometheus(w, sigmas, arb, s.isDraining())
+	s.m.writePrometheus(w, sigmas, arb, ts, s.isDraining())
 }

@@ -301,6 +301,27 @@ func (p *Pool) Health() []ShardHealth { return p.eng.Health() }
 // Size returns the shard count.
 func (p *Pool) Size() int { return len(p.samplers) }
 
+// Sigma returns the pool's σ as its configured decimal spelling — the
+// registry key the serving tiers route and label by.
+func (p *Pool) Sigma() string { return p.art.Key.Sigma }
+
+// BuildInFlight reports, without blocking, whether the process-wide
+// registry is currently resolving cfg's circuit: a pool build for it
+// has started (in this or another goroutine) but not finished.  The
+// serving layer's tier controller uses it to distinguish a promotion
+// stuck in exact minimization from one about to install — surfaced per
+// key on /healthz.
+func BuildInFlight(cfg Config) bool {
+	cfg = cfg.normalize()
+	inFlight, _ := registry.Shared().Inspect(core.Config{
+		Sigma:   cfg.Sigma,
+		N:       cfg.Precision,
+		TailCut: cfg.TailCut,
+		Min:     cfg.Minimizer,
+	})
+	return inFlight
+}
+
 // FromCache reports whether the pool's circuit was loaded from the
 // registry's on-disk cache rather than built in this process.
 func (p *Pool) FromCache() bool { return p.art.FromDisk }
