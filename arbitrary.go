@@ -119,6 +119,10 @@ func (a *Arbitrary) Bounds() (min, max float64) { return a.inner.Bounds() }
 // it is poisoned).
 func (a *Arbitrary) Health() []ShardHealth { return a.inner.Health() }
 
+// RingStats snapshots per-shard ring occupancy, merged (summed) across
+// the base engines that feed each shard's draws.
+func (a *Arbitrary) RingStats() []RingStat { return a.inner.Rings() }
+
 // Degraded reports whether any shard of the base engines is poisoned.
 // The serving layer sheds free-form load — and the tier controller
 // defers promotions — while this is true: a restarting base set should

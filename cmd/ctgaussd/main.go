@@ -18,6 +18,9 @@
 //	ctgaussd -arbitrary-bases 2,6.15543       # convolution base set
 //	ctgaussd -tier-promote-rps 5000           # promote hot free-form σ to compiled pools
 //	ctgaussd -falcon-kind convolve            # SamplerZ via the convolution layer
+//	ctgaussd -trace -slow-request 50ms        # stage tracing + slow-request log
+//	ctgaussd -log-format json                 # structured logs for collectors
+//	ctgaussd -debug-addr 127.0.0.1:8755       # pprof/runtime-trace on a private listener
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -drain-timeout), then
@@ -31,7 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"ctgauss/falcon"
+	"ctgauss/internal/obs"
 	"ctgauss/internal/server"
 )
 
@@ -65,7 +69,41 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request handler deadline (0 = none); a draw stuck behind a restarting shard fails with 503 + Retry-After at the deadline")
 	cacheDir := flag.String("cache", "", "circuit cache directory (sets CTGAUSS_CACHE_DIR)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	trace := flag.Bool("trace", false, "per-request stage tracing: X-Ctgauss-Trace IDs, stage trailers and ctgaussd_stage_seconds histograms")
+	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this with their stage breakdown (implies -trace; 0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof (profiles, runtime traces); keep it private — empty disables")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *version {
+		b := obs.Build()
+		fmt.Printf("ctgaussd %s (%s", b.Version, b.GoVersion)
+		if b.Revision != "" {
+			rev := b.Revision
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			fmt.Printf(", %s", rev)
+			if b.Modified {
+				fmt.Printf("+dirty")
+			}
+		}
+		fmt.Println(")")
+		return
+	}
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctgaussd: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	if *cacheDir != "" {
 		// Must land before the first registry.Shared() use (pool builds in
@@ -75,16 +113,16 @@ func main() {
 
 	masterSeed, reproducible, err := resolveSeed(*seed)
 	if err != nil {
-		log.Fatalf("ctgaussd: %v", err)
+		fatalf("%v", err)
 	}
 	kind, err := parseKind(*falconKind)
 	if err != nil {
-		log.Fatalf("ctgaussd: %v", err)
+		fatalf("%v", err)
 	}
 
 	prefetchGlobal, prefetchBySigma, err := parsePrefetch(*prefetch)
 	if err != nil {
-		log.Fatalf("ctgaussd: %v", err)
+		fatalf("%v", err)
 	}
 
 	cfg := server.Config{
@@ -106,22 +144,31 @@ func main() {
 		TierPromoteRPS:   *tierPromoteRPS,
 		TierMaxPools:     *tierMaxPools,
 		TierWindow:       *tierWindow,
+		Trace:            *trace,
+		SlowRequest:      *slowRequest,
+		Logger:           logger,
 	}
 	buildStart := time.Now()
 	s, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("ctgaussd: %v", err)
+		fatalf("%v", err)
 	}
-	log.Printf("pools ready in %s (σ = %s, falcon-n = %d)",
-		time.Since(buildStart).Round(time.Millisecond), *sigmas, *falconN)
+	b := obs.Build()
+	logger.Info("pools ready",
+		"build_time", time.Since(buildStart).Round(time.Millisecond).String(),
+		"sigmas", *sigmas, "falcon_n", *falconN,
+		"version", b.Version, "go_version", b.GoVersion)
 	if s.Tier() != nil {
-		log.Printf("tiering: promote ≥ %g samples/s over %s (≤ %d pools)",
-			*tierPromoteRPS, *tierWindow, *tierMaxPools)
+		logger.Info("tiering enabled",
+			"promote_rps", *tierPromoteRPS, "window", tierWindow.String(), "max_pools", *tierMaxPools)
 	}
 	if !reproducible {
-		log.Printf("seed: fresh entropy (streams are not reproducible)")
+		logger.Info("seed: fresh entropy (streams are not reproducible)")
 	} else {
-		log.Printf("seed: deterministic — development only, use -seed random in production")
+		logger.Warn("seed: deterministic — development only, use -seed random in production")
+	}
+	if *trace || *slowRequest > 0 {
+		logger.Info("tracing enabled", "slow_request", slowRequest.String())
 	}
 
 	httpSrv := &http.Server{
@@ -130,18 +177,36 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The profiling surface lives on its own listener so the serving
+	// address never exposes pprof.  Bind it to loopback or a private
+	// interface: profiles and runtime traces leak internals by design.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+		logger.Info("debug listener up (keep it private)", "addr", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("ctgaussd: %v", err)
+		fatalf("%v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down: draining in-flight requests (budget %s)", *drainTimeout)
+	logger.Info("shutting down: draining in-flight requests", "budget", drainTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	done := make(chan struct{})
@@ -153,16 +218,45 @@ func main() {
 		// completes before the engines stop.
 		s.Close()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("ctgaussd: shutdown: %v", err)
+			logger.Error("shutdown", "error", err.Error())
+		}
+		if debugSrv != nil {
+			debugSrv.Shutdown(shutdownCtx)
 		}
 		close(done)
 	}()
 	select {
 	case <-done:
-		log.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 	case <-shutdownCtx.Done():
-		log.Printf("drain budget exceeded, exiting with requests in flight")
+		logger.Warn("drain budget exceeded, exiting with requests in flight")
 	}
+}
+
+// buildLogger maps the -log-format/-log-level flags to a slog.Logger on
+// stderr.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
 
 // resolveSeed maps the -seed flag to seed bytes; the bool reports

@@ -17,6 +17,8 @@
 //	ctgaussload -mode sign -clients 4 -requests 50
 //	ctgaussload -mode mix -count 256
 //	ctgaussload -retries 5 -retry-backoff 50ms       # ride out 429/503 shedding
+//	ctgaussload -stages                              # per-stage latency breakdown (daemon needs -trace)
+//	ctgaussload -slowest 10                          # trace IDs of the 10 slowest requests
 //	ctgaussload -addr http://gauss.internal:8754 -json report.json
 //
 // With -retries > 0, attempts the daemon sheds with 429 (queue full) or
@@ -51,6 +53,8 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "base backoff before the first retry")
 	hotkey := flag.Bool("hotkey", false, "arbitrary mode only: measure ns/sample before and after the daemon promotes -sigma to a compiled pool (needs -tier-promote-rps on the daemon)")
 	hotkeyTimeout := flag.Duration("hotkey-timeout", 60*time.Second, "promotion wait budget for -hotkey")
+	stages := flag.Bool("stages", false, "report the per-stage latency breakdown from the daemon's stage trailers, reconciled against its ctgaussd_stage_seconds histograms (daemon needs -trace)")
+	slowest := flag.Int("slowest", 0, "list the trace IDs of the K slowest requests (0 = off; -stages defaults it to 5)")
 	jsonPath := flag.String("json", "-", "report destination (\"-\" = stdout)")
 	flag.Parse()
 
@@ -68,6 +72,8 @@ func main() {
 		RetryBackoff:  *retryBackoff,
 		HotKey:        *hotkey,
 		HotKeyTimeout: *hotkeyTimeout,
+		Stages:        *stages,
+		SlowestK:      *slowest,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctgaussload:", err)

@@ -1,0 +1,76 @@
+// Command metricslint validates a Prometheus text exposition against
+// the rules internal/obs.LintMetrics enforces: every sample preceded by
+// a # TYPE declaration, no duplicate or interleaved families, families
+// sorted by name, counters ending in _total, histogram _bucket samples
+// carrying le, numeric values.  CI boots ctgaussd and points this at
+// its /metrics so an unregistered or misnamed family fails the build
+// before a dashboard ever sees it.
+//
+// Usage:
+//
+//	metricslint -addr http://localhost:8754   # scrape a live daemon's /metrics
+//	metricslint -file exposition.txt          # lint a saved scrape
+//	ctgaussd & curl -s :8754/metrics | metricslint   # stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"ctgauss/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "", "ctgaussd base URL to scrape (lints GET <addr>/metrics)")
+	file := flag.String("file", "", "exposition file to lint (\"-\" or empty with no -addr = stdin)")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout for -addr")
+	flag.Parse()
+
+	var src io.Reader
+	var label string
+	switch {
+	case *addr != "" && *file != "":
+		fmt.Fprintln(os.Stderr, "metricslint: -addr and -file are mutually exclusive")
+		os.Exit(1)
+	case *addr != "":
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*addr + "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricslint:", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "metricslint: GET %s/metrics: %s\n", *addr, resp.Status)
+			os.Exit(1)
+		}
+		src = io.LimitReader(resp.Body, 64<<20)
+		label = *addr + "/metrics"
+	case *file != "" && *file != "-":
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricslint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+		label = *file
+	default:
+		src = os.Stdin
+		label = "stdin"
+	}
+
+	errs := obs.LintMetrics(src)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", label, e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %d violation(s)\n", label, len(errs))
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %s: clean\n", label)
+}

@@ -45,6 +45,7 @@ import (
 	"ctgauss/internal/core"
 	"ctgauss/internal/engine"
 	"ctgauss/internal/gaussian"
+	"ctgauss/internal/obs"
 	"ctgauss/internal/prng"
 	"ctgauss/internal/registry"
 	"ctgauss/internal/sampler"
@@ -420,6 +421,15 @@ func (s *Sampler) tryBlock(ctx context.Context, si int, p *plan, r float64, off 
 			return 0, err
 		}
 	}
+	// Combine/round span: the ladder's own arithmetic — rounding
+	// coins, constant-time lane evaluation, compaction — as opposed to
+	// the base draws above, which attribute to the engine stages.  The
+	// hook reads only the clock, never the coin stream.
+	var tr *obs.Trace
+	if obs.TraceEnabled() {
+		tr = obs.FromContext(ctx)
+	}
+	t0 := tr.Now()
 	sh.coins.FillWords(sh.cw[:w])
 	mask := evalLanes(p, r, sh.xs[:w], sh.cw[:w], sh.zs[:w], w)
 	// Compaction: the only data-dependent control flow, and it
@@ -432,6 +442,7 @@ func (s *Sampler) tryBlock(ctx context.Context, si int, p *plan, r float64, off 
 			n++
 		}
 	}
+	tr.End(obs.StageCombine, t0)
 	s.trials.Add(uint64(w))
 	s.accepted.Add(uint64(bits.OnesCount64(mask)))
 	return n, nil
@@ -563,6 +574,21 @@ func (s *Sampler) Health() []engine.ShardHealth {
 			merged[i].Dead = merged[i].Dead || h.Dead
 			merged[i].Restarts += h.Restarts
 			merged[i].DiscardedRefills += h.DiscardedRefills
+		}
+	}
+	return merged
+}
+
+// Rings merges per-shard ring occupancy across the base engines:
+// buffered refills, adaptive targets, and depths sum over members
+// (shard i's figures cover every base stream that feeds its draws).
+func (s *Sampler) Rings() []engine.RingStat {
+	merged := make([]engine.RingStat, len(s.shards))
+	for _, e := range s.engines {
+		for i, rs := range e.Rings() {
+			merged[i].Buffered += rs.Buffered
+			merged[i].Target += rs.Target
+			merged[i].Depth += rs.Depth
 		}
 	}
 	return merged

@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"ctgauss/internal/faultinject"
+	"ctgauss/internal/obs"
 )
 
 // DefaultDepth is the ring depth used when a consumer passes 0 to the
@@ -366,6 +367,13 @@ func (e *Engine[T]) producer(s int) {
 func (e *Engine[T]) ConsumeFrom(ctx context.Context, s, n int, fn func(chunk []T)) error {
 	r := e.rings[s]
 	depth := uint64(len(r.slots))
+	// Tracing hook: one atomic load when observability is off; a
+	// request-scoped span recorder when on.  The trace only ever reads
+	// the clock, so the served stream is bit-identical either way.
+	var tr *obs.Trace
+	if obs.TraceEnabled() {
+		tr = obs.FromContext(ctx)
+	}
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
@@ -406,7 +414,10 @@ func (e *Engine[T]) ConsumeFrom(ctx context.Context, s, n int, fn func(chunk []T
 				// A panic here poisons the call, not the process: the
 				// partial refill is discarded (tail never advances), the
 				// fill state resets, and the next call retries.
-				if err := e.runFill(s, r.slots[0]); err != nil {
+				t0 := tr.Now()
+				err := e.runFill(s, r.slots[0])
+				tr.End(obs.StageEval, t0)
+				if err != nil {
 					dead := e.recordFillFailure(r)
 					if dead {
 						r.poisoned, r.dead = true, true
@@ -446,7 +457,9 @@ func (e *Engine[T]) ConsumeFrom(ctx context.Context, s, n int, fn func(chunk []T
 						}
 					}(stopWatch)
 				}
+				t0 := tr.Now()
 				r.more.Wait()
+				tr.End(obs.StageEngineWait, t0)
 				continue
 			}
 		}
@@ -540,6 +553,33 @@ func (e *Engine[T]) Health() []ShardHealth {
 			Dead:             r.dead,
 			Restarts:         r.restarts,
 			DiscardedRefills: r.discards,
+		}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// RingStat is one shard's prefetch-ring occupancy snapshot: how many
+// completed refills sit buffered ahead of demand, the producer's
+// current adaptive target, and the configured depth.  These feed the
+// ctgaussd_engine_ring_* gauges — buffered ≈ 0 under sustained load
+// means consumers run at refill speed (prefetch misses); buffered near
+// target means the producer keeps ahead.
+type RingStat struct {
+	Buffered int
+	Target   int
+	Depth    int
+}
+
+// Rings snapshots every shard's ring occupancy, indexed by shard.
+func (e *Engine[T]) Rings() []RingStat {
+	out := make([]RingStat, len(e.rings))
+	for i, r := range e.rings {
+		r.mu.Lock()
+		out[i] = RingStat{
+			Buffered: int(r.tail - r.head),
+			Target:   int(r.target),
+			Depth:    e.cfg.Depth,
 		}
 		r.mu.Unlock()
 	}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug listener's handler: the net/http/pprof
+// suite (heap/goroutine/block/mutex profiles, CPU profiles via
+// /debug/pprof/profile, execution traces via /debug/pprof/trace — the
+// runtime/trace capture).  Mount it ONLY on the private -debug-addr
+// listener, never on the serving mux: profiles reveal internals and a
+// CPU profile or execution trace costs real cycles, so the endpoint
+// must not be reachable by clients.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/debug/pprof/", http.StatusFound)
+	})
+	return mux
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []error { return LintMetrics(strings.NewReader(s)) }
+
+func TestLintCleanExposition(t *testing.T) {
+	scrape := `# HELP a_requests_total Requests.
+# TYPE a_requests_total counter
+a_requests_total{endpoint="samples"} 12
+a_requests_total{endpoint="sign"} 3
+# HELP b_inflight In-flight requests.
+# TYPE b_inflight gauge
+b_inflight 0
+# HELP c_stage_seconds Stage time.
+# TYPE c_stage_seconds histogram
+c_stage_seconds_bucket{stage="decode",le="0.001"} 4
+c_stage_seconds_bucket{stage="decode",le="+Inf"} 5
+c_stage_seconds_sum{stage="decode"} 0.004
+c_stage_seconds_count{stage="decode"} 5
+`
+	if errs := lintString(scrape); len(errs) != 0 {
+		t.Fatalf("clean scrape flagged: %v", errs)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, scrape, want string
+	}{
+		{
+			"unregistered sample",
+			"# TYPE a_total counter\na_total 1\nrogue_metric 2\n",
+			"no registered family",
+		},
+		{
+			"duplicate family",
+			"# TYPE a_total counter\na_total 1\n# TYPE a_total counter\na_total 2\n",
+			"duplicate family",
+		},
+		{
+			"unsorted families",
+			"# TYPE b_total counter\nb_total 1\n# TYPE a_total counter\na_total 1\n",
+			"must be sorted",
+		},
+		{
+			"counter without _total",
+			"# TYPE a_count counter\na_count 1\n",
+			"should end in _total",
+		},
+		{
+			"bucket without le",
+			"# TYPE a_seconds histogram\na_seconds_bucket{x=\"y\"} 1\na_seconds_sum 1\na_seconds_count 1\n",
+			"lacks an le label",
+		},
+		{
+			"non-numeric value",
+			"# TYPE a_total counter\na_total pony\n",
+			"non-numeric value",
+		},
+		{
+			"interleaved families",
+			"# TYPE a_total counter\n# TYPE b_total counter\na_total 1\nb_total 1\na_total{x=\"y\"} 2\n",
+			"interleaved",
+		},
+	}
+	for _, tc := range cases {
+		errs := lintString(tc.scrape)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint missed it (errors: %v)", tc.name, errs)
+		}
+	}
+}

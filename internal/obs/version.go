@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the release stamp, set at link time:
+//
+//	go build -ldflags "-X ctgauss/internal/obs.Version=$(git describe --always --dirty)" ./cmd/ctgaussd
+//
+// It feeds the ctgaussd_build_info metric, the /healthz build block,
+// and ctgaussd -version.
+var Version = "dev"
+
+// BuildInfo describes the running binary.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build information: the linked Version,
+// the Go toolchain version, and the VCS revision when the module was
+// built from a checkout.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: Version, GoVersion: runtime.Version()}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					buildInfo.Revision = s.Value
+				case "vcs.modified":
+					buildInfo.Modified = s.Value == "true"
+				}
+			}
+		}
+	})
+	return buildInfo
+}

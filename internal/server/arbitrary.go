@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ctgauss"
+	"ctgauss/internal/obs"
 )
 
 // arbco fronts the arbitrary-(σ, μ) sampler for the HTTP layer.  Unlike
@@ -95,6 +96,10 @@ type arbStats struct {
 	producerRestarts uint64
 	refillsDiscarded uint64
 	shardsPoisoned   int
+
+	// rings is the merged per-shard base-engine ring occupancy, exported
+	// under sigma="arbitrary" with the pool ring gauges.
+	rings []ctgauss.RingStat
 }
 
 func (a *arbco) stats() arbStats {
@@ -125,6 +130,7 @@ func (a *arbco) stats() arbStats {
 			out.shardsPoisoned++
 		}
 	}
+	out.rings = a.arb.RingStats()
 	return out
 }
 
@@ -145,13 +151,18 @@ func (s *Server) tierCompiledDraw(ctx context.Context, sigma float64, out []int)
 	if s.tier == nil {
 		return false, nil
 	}
+	tr := tracedCtx(ctx)
+	t0 := tr.Now()
 	pool, release, ok := s.tier.Acquire(sigma)
+	tr.End(obs.StageRoute, t0)
 	if !ok {
 		return false, nil
 	}
 	defer release()
 	start := time.Now()
-	if err := pool.Take(ctx, out); err != nil {
+	err = pool.Take(ctx, out)
+	tr.End(obs.StageCoalesce, start)
+	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return false, err
 		}
@@ -164,6 +175,7 @@ func (s *Server) tierCompiledDraw(ctx context.Context, sigma float64, out []int)
 	s.m.tierCompiledNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	s.arb.recordSigma(sigma, len(out))
 	s.tier.Observe(sigma, len(out))
+	tr.SetTier("compiled")
 	return true, nil
 }
 
@@ -227,8 +239,11 @@ func (s *Server) handleArbitrary(w http.ResponseWriter, r *http.Request) {
 		writeUnavailable(w, "arbitrary layer degraded: a base shard is restarting")
 		return
 	}
+	tr := traceOf(w)
 	start := time.Now()
-	if err := s.arb.draw(r.Context(), req.Sigma, req.Mu, out); err != nil {
+	err := s.arb.draw(r.Context(), req.Sigma, req.Mu, out)
+	tr.End(obs.StageCoalesce, start)
+	if err != nil {
 		s.writeDrawError(w, epArbitrary, err)
 		return
 	}
@@ -238,6 +253,7 @@ func (s *Server) handleArbitrary(w http.ResponseWriter, r *http.Request) {
 	if s.tier != nil && req.Mu == 0 {
 		s.tier.Observe(req.Sigma, req.Count)
 	}
+	tr.SetTier("convolved")
 	w.Header().Set(tierHeader, "convolved")
 	writeJSON(w, http.StatusOK, arbitraryResponse{Sigma: req.Sigma, Mu: req.Mu, Count: req.Count, Samples: out})
 }
@@ -271,9 +287,12 @@ func (s *Server) serveFreeformSigma(w http.ResponseWriter, r *http.Request, req 
 		writeUnavailable(w, "arbitrary layer degraded: a base shard is restarting")
 		return
 	}
+	tr := traceOf(w)
 	start := time.Now()
-	if err := s.arb.draw(r.Context(), sigma, 0, out); err != nil {
-		s.writeDrawError(w, epSamples, err)
+	derr := s.arb.draw(r.Context(), sigma, 0, out)
+	tr.End(obs.StageCoalesce, start)
+	if derr != nil {
+		s.writeDrawError(w, epSamples, derr)
 		return
 	}
 	s.m.samples.Add(uint64(req.Count))
@@ -282,6 +301,7 @@ func (s *Server) serveFreeformSigma(w http.ResponseWriter, r *http.Request, req 
 	if s.tier != nil {
 		s.tier.Observe(sigma, req.Count)
 	}
+	tr.SetTier("convolved")
 	w.Header().Set(tierHeader, "convolved")
 	writeJSON(w, http.StatusOK, samplesResponse{Sigma: req.Sigma, Count: req.Count, Samples: out})
 }

@@ -61,5 +61,6 @@ func (c *coalescer) sigmaStats() sigmaStats {
 		producerRestarts: es.ProducerRestarts,
 		refillsDiscarded: es.RefillsDiscarded,
 		shardsPoisoned:   es.ShardsPoisoned,
+		rings:            c.pool.RingStats(),
 	}
 }

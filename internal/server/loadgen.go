@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ctgauss/internal/obs"
 )
 
 // LoadConfig drives RunLoad against a running ctgaussd.
@@ -59,6 +61,16 @@ type LoadConfig struct {
 	// HotKeyTimeout bounds the promotion wait (default 60s).  On timeout
 	// the after-phase still runs (the report then shows promoted=false).
 	HotKeyTimeout time.Duration
+
+	// Stages reports the client-observed per-stage latency breakdown from
+	// the daemon's X-Ctgauss-Stages response trailers, reconciled against
+	// the daemon's own ctgaussd_stage_seconds histograms scraped at the
+	// run boundaries.  Requires a daemon running with -trace (or
+	// -slow-request); RunLoad errors out otherwise.
+	Stages bool
+	// SlowestK lists the trace IDs of the K slowest requests in the
+	// report (0 disables; Stages mode defaults it to 5).
+	SlowestK int
 }
 
 // LatencySummary condenses observed per-request latencies.
@@ -113,6 +125,37 @@ type LoadReport struct {
 
 	// HotKey is the tier-promotion benchmark block (HotKey mode only).
 	HotKey *HotKeyReport `json:"hotkey,omitempty"`
+
+	// SlowestRequests identifies the run's K slowest successful requests
+	// by daemon-issued trace ID — grep these against the daemon's
+	// slow-request log to see where each one's time went server-side.
+	SlowestRequests []SlowRequestInfo `json:"slowest_requests,omitempty"`
+
+	// Stages is the per-stage latency breakdown (Stages mode only).
+	Stages map[string]StageBreakdown `json:"stages,omitempty"`
+}
+
+// SlowRequestInfo identifies one of the run's slowest requests.
+type SlowRequestInfo struct {
+	TraceID   string  `json:"trace_id"`
+	Endpoint  string  `json:"endpoint"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// StageBreakdown is one stage's distribution over the run, from the
+// daemon's per-request stage trailers (client-observed) reconciled with
+// the daemon's own stage histograms (DaemonMeanUs, from the
+// ctgaussd_stage_seconds _sum/_count deltas over the run).  Share is
+// this stage's fraction of total request time; partition stages
+// (queue_wait, decode, route, coalesce, encode, other) sum to ~1, while
+// engine_wait/eval/combine nest inside coalesce and overlap it.
+type StageBreakdown struct {
+	Count        int     `json:"count"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	MeanUs       float64 `json:"mean_us"`
+	Share        float64 `json:"share"`
+	DaemonMeanUs float64 `json:"daemon_mean_us,omitempty"`
 }
 
 // HotKeyReport is the before/after ledger of one σ's promotion from the
@@ -145,6 +188,22 @@ type HotKeyReport struct {
 	ClientNsPerSampleAfter  float64 `json:"client_ns_per_sample_after"`
 }
 
+// respMeta carries the observability envelope of one response: the
+// daemon-issued trace ID (header) and the encoded stage breakdown
+// (trailer; empty unless the daemon runs with -trace).
+type respMeta struct {
+	traceID string
+	stages  string
+}
+
+// reqRecord is one successful request's observability record.
+type reqRecord struct {
+	endpoint string
+	traceID  string
+	latency  time.Duration
+	stages   string // raw X-Ctgauss-Stages trailer
+}
+
 // loadWorker accumulates one client's counts (merged after the run).
 type loadWorker struct {
 	requests, errors, rejected    int
@@ -152,6 +211,7 @@ type loadWorker struct {
 	samples, signatures, verifies int
 	arbitrary                     int
 	latencies                     []time.Duration
+	records                       []reqRecord
 }
 
 // RunLoad drives the daemon with Clients×Requests requests and returns
@@ -184,11 +244,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 25 * time.Millisecond
 	}
+	if cfg.Stages && cfg.SlowestK <= 0 {
+		cfg.SlowestK = 5
+	}
 	client := &http.Client{Timeout: cfg.Timeout}
 
-	falconOn, arbitraryOn, err := probeFeatures(client, cfg.BaseURL)
+	falconOn, arbitraryOn, traceOn, err := probeFeatures(client, cfg.BaseURL)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: probing %s/healthz: %w", cfg.BaseURL, err)
+	}
+	if cfg.Stages && !traceOn {
+		return nil, fmt.Errorf("loadgen: -stages needs a daemon running with -trace (or -slow-request); /healthz reports tracing off")
 	}
 	var endpoints []string
 	switch cfg.Mode {
@@ -229,6 +295,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 
+	collect := cfg.Stages || cfg.SlowestK > 0
 	runPhase := func() ([]loadWorker, time.Duration) {
 		workers := make([]loadWorker, cfg.Clients)
 		var wg sync.WaitGroup
@@ -240,18 +307,24 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				for i := 0; i < cfg.Requests; i++ {
 					ep := endpoints[i%len(endpoints)]
 					t0 := time.Now()
-					err := doRequest(client, cfg, ep, sigB64, w)
+					meta, err := doRequest(client, cfg, ep, sigB64, w)
 					for attempt := 0; attempt < cfg.Retries && isRetryable(err); attempt++ {
 						time.Sleep(retryDelay(cfg.RetryBackoff, attempt, err))
 						w.retries++
-						err = doRequest(client, cfg, ep, sigB64, w)
+						meta, err = doRequest(client, cfg, ep, sigB64, w)
 					}
-					w.latencies = append(w.latencies, time.Since(t0))
+					lat := time.Since(t0)
+					w.latencies = append(w.latencies, lat)
 					w.requests++
 					if err != nil && !isRejection(err) {
 						// 429s count as Rejected only: backpressure working
 						// as designed is not a failure of the run.
 						w.errors++
+					}
+					if collect && err == nil && meta != nil {
+						w.records = append(w.records, reqRecord{
+							endpoint: ep, traceID: meta.traceID, latency: lat, stages: meta.stages,
+						})
 					}
 				}
 			}(&workers[c])
@@ -294,6 +367,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			return nil, fmt.Errorf("loadgen: hot-key mode: tier ledger scrape: %w", lerr)
 		}
 	}
+	var sled0 stageLedger
+	if cfg.Stages {
+		var serr error
+		if sled0, serr = scrapeStageLedger(client, cfg.BaseURL); serr != nil {
+			return nil, fmt.Errorf("loadgen: stage ledger scrape: %w", serr)
+		}
+	}
 	workers, elapsed := runPhase()
 	if hot != nil {
 		clientNsPer := func(ws []loadWorker) float64 {
@@ -322,7 +402,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		waitStart := time.Now()
 		for time.Since(waitStart) < cfg.HotKeyTimeout {
 			var scratch loadWorker
-			_ = doRequest(client, cfg, "arbitrary", "", &scratch)
+			_, _ = doRequest(client, cfg, "arbitrary", "", &scratch)
 			state, terr := probeTierState(client, cfg.BaseURL, sigmaF)
 			if terr == nil && state == "compiled" {
 				hot.Promoted = true
@@ -385,7 +465,82 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 		report.ServerCancelled = cancelled
 	}
+
+	var records []reqRecord
+	for i := range workers {
+		records = append(records, workers[i].records...)
+	}
+	if cfg.SlowestK > 0 {
+		report.SlowestRequests = slowestRequests(records, cfg.SlowestK)
+	}
+	if cfg.Stages {
+		sled1, serr := scrapeStageLedger(client, cfg.BaseURL)
+		if serr != nil {
+			return nil, fmt.Errorf("loadgen: stage ledger scrape: %w", serr)
+		}
+		report.Stages = stageBreakdowns(records, sled1.delta(sled0))
+	}
 	return report, nil
+}
+
+// slowestRequests picks the k slowest records, slowest first.
+func slowestRequests(records []reqRecord, k int) []SlowRequestInfo {
+	sorted := make([]reqRecord, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].latency > sorted[j].latency })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make([]SlowRequestInfo, 0, k)
+	for _, r := range sorted[:k] {
+		out = append(out, SlowRequestInfo{
+			TraceID:   r.traceID,
+			Endpoint:  r.endpoint,
+			LatencyMs: float64(r.latency.Nanoseconds()) / 1e6,
+		})
+	}
+	return out
+}
+
+// stageBreakdowns aggregates the per-request stage trailers into
+// per-stage distributions and reconciles each against the daemon's own
+// histogram delta over the run.
+func stageBreakdowns(records []reqRecord, daemon stageLedger) map[string]StageBreakdown {
+	perStage := make(map[string][]int64)
+	var totalNs int64
+	for _, r := range records {
+		for stage, ns := range obs.ParseStages(r.stages) {
+			perStage[stage] = append(perStage[stage], ns)
+			if stage == "total" {
+				totalNs += ns
+			}
+		}
+	}
+	out := make(map[string]StageBreakdown, len(perStage))
+	for stage, vals := range perStage {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		pick := func(q float64) float64 {
+			return float64(vals[int(q*float64(len(vals)-1))]) / 1e3
+		}
+		b := StageBreakdown{
+			Count:  len(vals),
+			P50Us:  pick(0.5),
+			P99Us:  pick(0.99),
+			MeanUs: float64(sum) / float64(len(vals)) / 1e3,
+		}
+		if totalNs > 0 {
+			b.Share = float64(sum) / float64(totalNs)
+		}
+		if d, ok := daemon[stage]; ok && d.count > 0 {
+			b.DaemonMeanUs = d.seconds * 1e6 / float64(d.count)
+		}
+		out[stage] = b
+	}
+	return out
 }
 
 // scrapeCounters sums the per-σ prefetch hit/miss counters and the
@@ -491,6 +646,92 @@ func scrapeTierLedger(client *http.Client, baseURL string) (tierLedger, error) {
 	return led, nil
 }
 
+// stageLedger is one scrape of the daemon's per-stage request-time
+// histograms, summed across endpoints: cumulative seconds and
+// observation counts per stage name.
+type stageLedger map[string]stageLedgerEntry
+
+type stageLedgerEntry struct {
+	seconds float64
+	count   uint64
+}
+
+// delta subtracts prev from l per stage (stages absent from prev count
+// from zero).
+func (l stageLedger) delta(prev stageLedger) stageLedger {
+	out := make(stageLedger, len(l))
+	for stage, e := range l {
+		p := prev[stage]
+		out[stage] = stageLedgerEntry{seconds: e.seconds - p.seconds, count: e.count - p.count}
+	}
+	return out
+}
+
+// scrapeStageLedger reads the ctgaussd_stage_seconds _sum and _count
+// series from /metrics, summed across endpoints.  An empty ledger is
+// not an error: a freshly started traced daemon has no observations
+// yet (the caller gates on /healthz's trace flag instead), and the
+// exposition skips empty histograms.
+func scrapeStageLedger(client *http.Client, baseURL string) (stageLedger, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	led := make(stageLedger)
+	for _, line := range strings.Split(string(data), "\n") {
+		isSum := strings.HasPrefix(line, "ctgaussd_stage_seconds_sum{")
+		isCount := strings.HasPrefix(line, "ctgaussd_stage_seconds_count{")
+		if !isSum && !isCount {
+			continue
+		}
+		stage, ok := labelValue(line, "stage")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		e := led[stage]
+		if isSum {
+			v, perr := strconv.ParseFloat(fields[1], 64)
+			if perr != nil {
+				continue
+			}
+			e.seconds += v
+		} else {
+			v, perr := strconv.ParseUint(fields[1], 10, 64)
+			if perr != nil {
+				continue
+			}
+			e.count += v
+		}
+		led[stage] = e
+	}
+	return led, nil
+}
+
+// labelValue extracts one label's quoted value from a Prometheus sample
+// line.
+func labelValue(line, label string) (string, bool) {
+	marker := label + `="`
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
 // errHTTP marks a non-2xx response (the body's error message, if any,
 // and the server's Retry-After hint when it sent one).
 type errHTTP struct {
@@ -562,36 +803,45 @@ func probeTierState(client *http.Client, baseURL string, sigma float64) (string,
 }
 
 // probeFeatures asks /healthz which optional endpoint groups the daemon
-// mounts.
-func probeFeatures(client *http.Client, baseURL string) (falconOn, arbitraryOn bool, err error) {
+// mounts and whether stage tracing is on.
+func probeFeatures(client *http.Client, baseURL string) (falconOn, arbitraryOn, traceOn bool, err error) {
 	resp, err := client.Get(baseURL + "/healthz")
 	if err != nil {
-		return false, false, err
+		return false, false, false, err
 	}
 	defer resp.Body.Close()
 	var hr struct {
 		Falcon    string `json:"falcon"`
 		Arbitrary bool   `json:"arbitrary"`
+		Trace     bool   `json:"trace"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
-		return false, false, err
+		return false, false, false, err
 	}
-	return hr.Falcon != "", hr.Arbitrary, nil
+	return hr.Falcon != "", hr.Arbitrary, hr.Trace, nil
 }
 
-func postJSON(client *http.Client, url string, req, resp any) error {
+// postJSON posts req and decodes the 200 response into resp, returning
+// the response's observability envelope.  Reading the body to EOF first
+// is what makes the trailer visible: net/http exposes trailers only
+// after the last body byte.
+func postJSON(client *http.Client, url string, req, resp any) (*respMeta, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	r, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer r.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
-		return err
+		return nil, err
+	}
+	meta := &respMeta{
+		traceID: r.Header.Get(obs.TraceHeader),
+		stages:  r.Trailer.Get(obs.StagesHeader),
 	}
 	if r.StatusCode != http.StatusOK {
 		var e struct {
@@ -602,14 +852,14 @@ func postJSON(client *http.Client, url string, req, resp any) error {
 		if secs, perr := strconv.Atoi(r.Header.Get("Retry-After")); perr == nil && secs > 0 {
 			he.retryAfter = time.Duration(secs) * time.Second
 		}
-		return he
+		return meta, he
 	}
-	return json.Unmarshal(data, resp)
+	return meta, json.Unmarshal(data, resp)
 }
 
 func signOnce(client *http.Client, cfg LoadConfig) (string, error) {
 	var resp signResponse
-	err := postJSON(client, cfg.BaseURL+"/v1/falcon/sign",
+	_, err := postJSON(client, cfg.BaseURL+"/v1/falcon/sign",
 		signRequest{Message: base64.StdEncoding.EncodeToString(cfg.Message)}, &resp)
 	if err != nil {
 		return "", err
@@ -617,64 +867,64 @@ func signOnce(client *http.Client, cfg LoadConfig) (string, error) {
 	return resp.Signature, nil
 }
 
-func doRequest(client *http.Client, cfg LoadConfig, endpoint, sigB64 string, w *loadWorker) error {
+func doRequest(client *http.Client, cfg LoadConfig, endpoint, sigB64 string, w *loadWorker) (*respMeta, error) {
 	switch endpoint {
 	case "samples":
 		var resp samplesResponse
-		err := postJSON(client, cfg.BaseURL+"/v1/samples",
+		meta, err := postJSON(client, cfg.BaseURL+"/v1/samples",
 			samplesRequest{Count: cfg.Count, Sigma: cfg.Sigma}, &resp)
 		if err != nil {
 			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
 				w.rejected++
 			}
-			return err
+			return meta, err
 		}
 		if len(resp.Samples) != cfg.Count {
-			return fmt.Errorf("got %d samples, want %d", len(resp.Samples), cfg.Count)
+			return meta, fmt.Errorf("got %d samples, want %d", len(resp.Samples), cfg.Count)
 		}
 		w.samples += len(resp.Samples)
-		return nil
+		return meta, nil
 	case "arbitrary":
 		sigma := 3.3
 		if cfg.Sigma != "" {
 			var perr error
 			sigma, perr = strconv.ParseFloat(cfg.Sigma, 64)
 			if perr != nil {
-				return fmt.Errorf("arbitrary mode needs a decimal -sigma: %w", perr)
+				return nil, fmt.Errorf("arbitrary mode needs a decimal -sigma: %w", perr)
 			}
 		}
 		var resp arbitraryResponse
-		err := postJSON(client, cfg.BaseURL+"/v1/arbitrary",
+		meta, err := postJSON(client, cfg.BaseURL+"/v1/arbitrary",
 			arbitraryRequest{Count: cfg.Count, Sigma: sigma, Mu: cfg.Mu}, &resp)
 		if err != nil {
 			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
 				w.rejected++
 			}
-			return err
+			return meta, err
 		}
 		if len(resp.Samples) != cfg.Count {
-			return fmt.Errorf("got %d arbitrary samples, want %d", len(resp.Samples), cfg.Count)
+			return meta, fmt.Errorf("got %d arbitrary samples, want %d", len(resp.Samples), cfg.Count)
 		}
 		w.arbitrary += len(resp.Samples)
-		return nil
+		return meta, nil
 	case "sign":
 		var resp signResponse
-		err := postJSON(client, cfg.BaseURL+"/v1/falcon/sign",
+		meta, err := postJSON(client, cfg.BaseURL+"/v1/falcon/sign",
 			signRequest{Message: base64.StdEncoding.EncodeToString(cfg.Message)}, &resp)
 		if err != nil {
 			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
 				w.rejected++
 			}
-			return err
+			return meta, err
 		}
 		if resp.Signature == "" {
-			return fmt.Errorf("empty signature")
+			return meta, fmt.Errorf("empty signature")
 		}
 		w.signatures++
-		return nil
+		return meta, nil
 	case "verify":
 		var resp verifyResponse
-		err := postJSON(client, cfg.BaseURL+"/v1/falcon/verify",
+		meta, err := postJSON(client, cfg.BaseURL+"/v1/falcon/verify",
 			verifyRequest{
 				Message:   base64.StdEncoding.EncodeToString(cfg.Message),
 				Signature: sigB64,
@@ -683,15 +933,15 @@ func doRequest(client *http.Client, cfg LoadConfig, endpoint, sigB64 string, w *
 			if he, ok := err.(*errHTTP); ok && he.status == http.StatusTooManyRequests {
 				w.rejected++
 			}
-			return err
+			return meta, err
 		}
 		if !resp.Valid {
-			return fmt.Errorf("genuine signature reported invalid: %s", resp.Reason)
+			return meta, fmt.Errorf("genuine signature reported invalid: %s", resp.Reason)
 		}
 		w.verifies++
-		return nil
+		return meta, nil
 	}
-	return fmt.Errorf("unknown endpoint %q", endpoint)
+	return nil, fmt.Errorf("unknown endpoint %q", endpoint)
 }
 
 func summarize(lats []time.Duration) LatencySummary {

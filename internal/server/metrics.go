@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"ctgauss"
+	"ctgauss/internal/obs"
 	"ctgauss/internal/tier"
 )
 
@@ -110,6 +113,17 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 	return nil
 }
 
+// index returns the endpoint's position in the registration order —
+// the same order the obs.Observer was built with.
+func (m *metrics) index(name string) int {
+	for i, e := range m.endpoints {
+		if e.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // sigmaStats is the per-σ pool telemetry joined into the scrape by the
 // server, read from the pool engine's unified ledger by the coalescers.
 type sigmaStats struct {
@@ -126,6 +140,7 @@ type sigmaStats struct {
 	producerRestarts uint64 // refill panics recovered (producer restarted)
 	refillsDiscarded uint64 // refills abandoned by a panicking fill
 	shardsPoisoned   int    // shards currently poisoned
+	rings            []ctgauss.RingStat
 }
 
 // tierScrape is the tier controller's state joined into the scrape by
@@ -135,212 +150,309 @@ type tierScrape struct {
 	keys  []tier.KeyInfo // sorted by σ
 }
 
+// scrapeData bundles everything one /metrics render needs beyond the
+// counter set itself.
+type scrapeData struct {
+	sigmas   []sigmaStats
+	arb      *arbStats   // nil when the arbitrary layer is disabled
+	tier     *tierScrape // nil when tiering is disabled
+	draining bool
+	uptime   time.Duration
+	stages   []obs.StageScrape // nil when tracing is disabled
+}
+
+// promFamily collects one metric family's samples before emission.
+// Rows keep insertion order (callers insert from sorted inputs);
+// families themselves are emitted sorted by name.
+type promFamily struct {
+	name, kind, help string
+	rows             []promRow
+}
+
+// promRow is one sample line; name differs from the family name only
+// for histogram _bucket/_sum/_count samples.
+type promRow struct {
+	name   string
+	labels string // rendered label block including braces, or ""
+	value  string
+}
+
+func (f *promFamily) row(labels, value string) {
+	f.rows = append(f.rows, promRow{name: f.name, labels: labels, value: value})
+}
+
+func (f *promFamily) rowf(labels, format string, args ...any) {
+	f.row(labels, fmt.Sprintf(format, args...))
+}
+
+// suffixRow adds a histogram sub-sample (family name + suffix).
+func (f *promFamily) suffixRow(suffix, labels, value string) {
+	f.rows = append(f.rows, promRow{name: f.name + suffix, labels: labels, value: value})
+}
+
+// promSet accumulates families and writes them sorted by name — the
+// deterministic-scrape guarantee: two scrapes of the same server state
+// render byte-identically, and family order never depends on code
+// order or map iteration.
+type promSet struct {
+	byName map[string]*promFamily
+}
+
+func newPromSet() *promSet { return &promSet{byName: make(map[string]*promFamily)} }
+
+// family registers (or revisits) a family.  Revisiting with a
+// different kind is a programming error caught loudly: duplicate
+// # TYPE lines are exactly what the metrics lint rejects.
+func (ps *promSet) family(name, kind, help string) *promFamily {
+	if f, ok := ps.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: family %s redeclared as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &promFamily{name: name, kind: kind, help: help}
+	ps.byName[name] = f
+	return f
+}
+
+func (ps *promSet) writeTo(w io.Writer) {
+	names := make([]string, 0, len(ps.byName))
+	for n := range ps.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := ps.byName[n]
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, r := range f.rows {
+			fmt.Fprintf(w, "%s%s %s\n", r.name, r.labels, r.value)
+		}
+	}
+}
+
+// stageBucketIdx selects which log2 bucket boundaries the stage
+// histograms expose as Prometheus le bounds: every other power of two
+// from 256ns (2^8) to ~17s (2^34).  The in-memory resolution stays
+// full; adjacent buckets merge into the coarser cumulative counts.
+var stageBucketIdx = []int{8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34}
+
 // writePrometheus renders the whole counter set in Prometheus text
-// exposition format.  arb is nil when the arbitrary layer is disabled;
-// ts is nil when the tier controller is.
-func (m *metrics) writePrometheus(w io.Writer, sigmas []sigmaStats, arb *arbStats, ts *tierScrape, draining bool) {
-	fmt.Fprintln(w, "# HELP ctgaussd_requests_total Requests admitted per endpoint (past the drain gate and the admission queue; 429 rejections are counted separately).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_requests_total counter")
+// exposition format, families sorted by name.
+func (m *metrics) writePrometheus(w io.Writer, d scrapeData) {
+	ps := newPromSet()
+	epLabel := func(name string) string { return fmt.Sprintf("{endpoint=%q}", name) }
+
+	f := ps.family("ctgaussd_requests_total", "counter", "Requests admitted per endpoint (past the drain gate and the admission queue; 429 rejections are counted separately).")
 	for _, e := range m.endpoints {
-		fmt.Fprintf(w, "ctgaussd_requests_total{endpoint=%q} %d\n", e.name, e.requests.Load())
+		f.rowf(epLabel(e.name), "%d", e.requests.Load())
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_errors_total Responses with status >= 400, excluding backpressure rejections.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_errors_total counter")
+	f = ps.family("ctgaussd_errors_total", "counter", "Responses with status >= 400, excluding backpressure rejections.")
 	for _, e := range m.endpoints {
-		fmt.Fprintf(w, "ctgaussd_errors_total{endpoint=%q} %d\n", e.name, e.errors.Load())
+		f.rowf(epLabel(e.name), "%d", e.errors.Load())
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_rejected_total Requests rejected with 429 (admission queue full).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_rejected_total counter")
+	f = ps.family("ctgaussd_rejected_total", "counter", "Requests rejected with 429 (admission queue full).")
 	for _, e := range m.endpoints {
-		fmt.Fprintf(w, "ctgaussd_rejected_total{endpoint=%q} %d\n", e.name, e.rejected.Load())
+		f.rowf(epLabel(e.name), "%d", e.rejected.Load())
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_drain_refused_total Requests refused with 503 at the drain gate during shutdown.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_drain_refused_total counter")
+	f = ps.family("ctgaussd_drain_refused_total", "counter", "Requests refused with 503 at the drain gate during shutdown.")
 	for _, e := range m.endpoints {
-		fmt.Fprintf(w, "ctgaussd_drain_refused_total{endpoint=%q} %d\n", e.name, e.refused.Load())
+		f.rowf(epLabel(e.name), "%d", e.refused.Load())
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_requests_cancelled_total Requests abandoned by client cancellation or the per-request deadline.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_requests_cancelled_total counter")
+	f = ps.family("ctgaussd_requests_cancelled_total", "counter", "Requests abandoned by client cancellation or the per-request deadline.")
 	for _, e := range m.endpoints {
-		fmt.Fprintf(w, "ctgaussd_requests_cancelled_total{endpoint=%q} %d\n", e.name, e.cancelled.Load())
+		f.rowf(epLabel(e.name), "%d", e.cancelled.Load())
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_inflight Requests currently being served per endpoint.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_inflight gauge")
+	f = ps.family("ctgaussd_inflight", "gauge", "Requests currently being served per endpoint.")
 	for _, e := range m.endpoints {
-		fmt.Fprintf(w, "ctgaussd_inflight{endpoint=%q} %d\n", e.name, e.inflight.Load())
+		f.rowf(epLabel(e.name), "%d", e.inflight.Load())
 	}
 
-	fmt.Fprintln(w, "# HELP ctgaussd_latency_seconds Request latency quantiles per endpoint (log2-bucket upper bounds).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_latency_seconds gauge")
+	f = ps.family("ctgaussd_latency_seconds", "gauge", "Request latency quantiles per endpoint (log2-bucket upper bounds).")
 	for _, e := range m.endpoints {
 		for _, q := range []float64{0.5, 0.99} {
-			fmt.Fprintf(w, "ctgaussd_latency_seconds{endpoint=%q,quantile=%q} %g\n",
-				e.name, fmt.Sprintf("%g", q), e.lat.quantile(q))
+			f.rowf(fmt.Sprintf("{endpoint=%q,quantile=%q}", e.name, fmt.Sprintf("%g", q)), "%g", e.lat.quantile(q))
 		}
 		count := e.lat.count.Load()
 		if count > 0 {
 			mean := float64(e.lat.sumNs.Load()) / float64(count) / 1e9
-			fmt.Fprintf(w, "ctgaussd_latency_seconds{endpoint=%q,quantile=\"mean\"} %g\n", e.name, mean)
+			f.rowf(fmt.Sprintf("{endpoint=%q,quantile=\"mean\"}", e.name), "%g", mean)
 		}
 	}
 
-	fmt.Fprintln(w, "# HELP ctgaussd_samples_served_total Gaussian samples returned to clients.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_samples_served_total counter")
-	fmt.Fprintf(w, "ctgaussd_samples_served_total %d\n", m.samples.Load())
-	fmt.Fprintln(w, "# HELP ctgaussd_signatures_total Falcon signatures produced.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_signatures_total counter")
-	fmt.Fprintf(w, "ctgaussd_signatures_total %d\n", m.signs.Load())
-	fmt.Fprintln(w, "# HELP ctgaussd_verifies_total Falcon verifications evaluated.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_verifies_total counter")
-	fmt.Fprintf(w, "ctgaussd_verifies_total %d\n", m.verifies.Load())
+	ps.family("ctgaussd_samples_served_total", "counter", "Gaussian samples returned to clients.").rowf("", "%d", m.samples.Load())
+	ps.family("ctgaussd_signatures_total", "counter", "Falcon signatures produced.").rowf("", "%d", m.signs.Load())
+	ps.family("ctgaussd_verifies_total", "counter", "Falcon verifications evaluated.").rowf("", "%d", m.verifies.Load())
 
+	sigmas := d.sigmas
 	sort.Slice(sigmas, func(i, j int) bool { return sigmas[i].sigma < sigmas[j].sigma })
-	fmt.Fprintln(w, "# HELP ctgaussd_batches_total 64-sample batches consumed from the pool's engine per sigma (served samples / 64).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_batches_total counter")
+	sigLabel := func(sigma string) string { return fmt.Sprintf("{sigma=%q}", sigma) }
+	f = ps.family("ctgaussd_batches_total", "counter", "64-sample batches consumed from the pool's engine per sigma (served samples / 64).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_batches_total{sigma=%q} %d\n", s.sigma, s.batches)
+		f.rowf(sigLabel(s.sigma), "%d", s.batches)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_refills_total Circuit evaluations whose output entered the served stream per sigma (prefetch lookahead counts on first consumption; see _refills_produced_total).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_refills_total counter")
+	f = ps.family("ctgaussd_refills_total", "counter", "Circuit evaluations whose output entered the served stream per sigma (prefetch lookahead counts on first consumption; see _refills_produced_total).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_refills_total{sigma=%q} %d\n", s.sigma, s.refills)
+		f.rowf(sigLabel(s.sigma), "%d", s.refills)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_pool_samples_total Samples consumed from the pool's engine per sigma (exactly what clients were served).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_pool_samples_total counter")
+	f = ps.family("ctgaussd_pool_samples_total", "counter", "Samples consumed from the pool's engine per sigma (exactly what clients were served).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_pool_samples_total{sigma=%q} %d\n", s.sigma, s.samples)
+		f.rowf(sigLabel(s.sigma), "%d", s.samples)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_batches_per_refill Evaluation width of the pool's engine (batches per refill).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_batches_per_refill gauge")
+	f = ps.family("ctgaussd_batches_per_refill", "gauge", "Evaluation width of the pool's engine (batches per refill).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_batches_per_refill{sigma=%q} %d\n", s.sigma, s.batchesPerRefill)
+		f.rowf(sigLabel(s.sigma), "%d", s.batchesPerRefill)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_pool_shards Shard count of the per-sigma sampling pool.")
-	fmt.Fprintln(w, "# TYPE ctgaussd_pool_shards gauge")
+	f = ps.family("ctgaussd_pool_shards", "gauge", "Shard count of the per-sigma sampling pool.")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_pool_shards{sigma=%q} %d\n", s.sigma, s.shards)
+		f.rowf(sigLabel(s.sigma), "%d", s.shards)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_prefetch_depth Configured refill lookahead per shard (0 = synchronous refill).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_depth gauge")
+	f = ps.family("ctgaussd_prefetch_depth", "gauge", "Configured refill lookahead per shard (0 = synchronous refill).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_prefetch_depth{sigma=%q} %d\n", s.sigma, s.prefetch)
+		f.rowf(sigLabel(s.sigma), "%d", s.prefetch)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_refills_produced_total Circuit evaluations completed by the refill producers, including lookahead not yet consumed (>= ctgaussd_refills_total).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_refills_produced_total counter")
+	f = ps.family("ctgaussd_refills_produced_total", "counter", "Circuit evaluations completed by the refill producers, including lookahead not yet consumed (>= ctgaussd_refills_total).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_refills_produced_total{sigma=%q} %d\n", s.sigma, s.refillsProduced)
+		f.rowf(sigLabel(s.sigma), "%d", s.refillsProduced)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_prefetch_hits_total Draws served without waiting for a refill (the engine ring held data).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_hits_total counter")
+	f = ps.family("ctgaussd_prefetch_hits_total", "counter", "Draws served without waiting for a refill (the engine ring held data).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_prefetch_hits_total{sigma=%q} %d\n", s.sigma, s.prefetchHits)
+		f.rowf(sigLabel(s.sigma), "%d", s.prefetchHits)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_prefetch_misses_total Draws that waited on a producer (async) or evaluated inline (sync).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_prefetch_misses_total counter")
+	f = ps.family("ctgaussd_prefetch_misses_total", "counter", "Draws that waited on a producer (async) or evaluated inline (sync).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_prefetch_misses_total{sigma=%q} %d\n", s.sigma, s.prefetchMisses)
+		f.rowf(sigLabel(s.sigma), "%d", s.prefetchMisses)
 	}
 
 	// Fault-isolation telemetry: the arbitrary layer's base engines are
 	// reported under sigma="arbitrary" so one series covers every engine
 	// in the process.
-	fmt.Fprintln(w, "# HELP ctgaussd_engine_producer_restarts_total Refill panics recovered per pool (the producer restarted after backoff).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_engine_producer_restarts_total counter")
+	f = ps.family("ctgaussd_engine_producer_restarts_total", "counter", "Refill panics recovered per pool (the producer restarted after backoff).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_engine_producer_restarts_total{sigma=%q} %d\n", s.sigma, s.producerRestarts)
+		f.rowf(sigLabel(s.sigma), "%d", s.producerRestarts)
 	}
-	if arb != nil {
-		fmt.Fprintf(w, "ctgaussd_engine_producer_restarts_total{sigma=\"arbitrary\"} %d\n", arb.producerRestarts)
+	if d.arb != nil {
+		f.rowf(sigLabel("arbitrary"), "%d", d.arb.producerRestarts)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_engine_refills_discarded_total Refills abandoned by a panicking fill per pool (never served).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_engine_refills_discarded_total counter")
+	f = ps.family("ctgaussd_engine_refills_discarded_total", "counter", "Refills abandoned by a panicking fill per pool (never served).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_engine_refills_discarded_total{sigma=%q} %d\n", s.sigma, s.refillsDiscarded)
+		f.rowf(sigLabel(s.sigma), "%d", s.refillsDiscarded)
 	}
-	if arb != nil {
-		fmt.Fprintf(w, "ctgaussd_engine_refills_discarded_total{sigma=\"arbitrary\"} %d\n", arb.refillsDiscarded)
+	if d.arb != nil {
+		f.rowf(sigLabel("arbitrary"), "%d", d.arb.refillsDiscarded)
 	}
-	fmt.Fprintln(w, "# HELP ctgaussd_engine_shards_poisoned Shards currently poisoned per pool (producer restarting or dead; draws fail over meanwhile).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_engine_shards_poisoned gauge")
+	f = ps.family("ctgaussd_engine_shards_poisoned", "gauge", "Shards currently poisoned per pool (producer restarting or dead; draws fail over meanwhile).")
 	for _, s := range sigmas {
-		fmt.Fprintf(w, "ctgaussd_engine_shards_poisoned{sigma=%q} %d\n", s.sigma, s.shardsPoisoned)
+		f.rowf(sigLabel(s.sigma), "%d", s.shardsPoisoned)
 	}
-	if arb != nil {
-		fmt.Fprintf(w, "ctgaussd_engine_shards_poisoned{sigma=\"arbitrary\"} %d\n", arb.shardsPoisoned)
+	if d.arb != nil {
+		f.rowf(sigLabel("arbitrary"), "%d", d.arb.shardsPoisoned)
 	}
 
-	if arb != nil {
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_samples_total Samples served by the free-form (sigma, mu) convolution layer.")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_samples_total counter")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_samples_total %d\n", arb.samples)
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_trials_total Combine/round trials evaluated by the convolution layer.")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_trials_total counter")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_trials_total %d\n", arb.trials)
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_accepted_total Trials accepted by the randomized-rounding step.")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_accepted_total counter")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_accepted_total %d\n", arb.accepted)
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_sigmas Distinct sigma values served since startup (capped tracking; see _sigmas_overflow).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_sigmas gauge")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_sigmas %d\n", arb.distinctSigmas)
+	// Ring occupancy: how far ahead each shard's producer is right now.
+	// The arbitrary layer's base engines merge (sum) across members
+	// under sigma="arbitrary".
+	fb := ps.family("ctgaussd_engine_ring_buffered", "gauge", "Completed refills buffered ahead of demand per pool shard (0 under sustained load = consumers at refill speed).")
+	ft := ps.family("ctgaussd_engine_ring_target", "gauge", "The refill producer's current adaptive lookahead target per pool shard.")
+	ringRows := func(label string, rings []ctgauss.RingStat) {
+		for i, r := range rings {
+			l := fmt.Sprintf("{sigma=%q,shard=\"%d\"}", label, i)
+			fb.rowf(l, "%d", r.Buffered)
+			ft.rowf(l, "%d", r.Target)
+		}
+	}
+	for _, s := range sigmas {
+		ringRows(s.sigma, s.rings)
+	}
+	if d.arb != nil {
+		ringRows("arbitrary", d.arb.rings)
+	}
+
+	if arb := d.arb; arb != nil {
+		ps.family("ctgaussd_arbitrary_samples_total", "counter", "Samples served by the free-form (sigma, mu) convolution layer.").rowf("", "%d", arb.samples)
+		ps.family("ctgaussd_arbitrary_trials_total", "counter", "Combine/round trials evaluated by the convolution layer.").rowf("", "%d", arb.trials)
+		ps.family("ctgaussd_arbitrary_accepted_total", "counter", "Trials accepted by the randomized-rounding step.").rowf("", "%d", arb.accepted)
+		ps.family("ctgaussd_arbitrary_sigmas", "gauge", "Distinct sigma values served since startup (capped tracking; see _sigmas_overflow).").rowf("", "%d", arb.distinctSigmas)
 		overflow := 0
 		if arb.sigmaOverflow {
 			overflow = 1
 		}
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_sigmas_overflow Whether distinct-sigma tracking hit its cap (the gauge is then a lower bound).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_sigmas_overflow gauge")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_sigmas_overflow %d\n", overflow)
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_plans Distinct convolution plans compiled (one per requested sigma).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_plans gauge")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_plans %d\n", arb.plans)
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_shards Shard count of the arbitrary sampler.")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_shards gauge")
-		fmt.Fprintf(w, "ctgaussd_arbitrary_shards %d\n", arb.shards)
-		fmt.Fprintln(w, "# HELP ctgaussd_arbitrary_sigma_samples_total Samples served per free-form sigma, both tiers (capped tracking; see _sigmas_overflow).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_arbitrary_sigma_samples_total counter")
+		ps.family("ctgaussd_arbitrary_sigmas_overflow", "gauge", "Whether distinct-sigma tracking hit its cap (the gauge is then a lower bound).").rowf("", "%d", overflow)
+		ps.family("ctgaussd_arbitrary_plans", "gauge", "Distinct convolution plans compiled (one per requested sigma).").rowf("", "%d", arb.plans)
+		ps.family("ctgaussd_arbitrary_shards", "gauge", "Shard count of the arbitrary sampler.").rowf("", "%d", arb.shards)
+		f = ps.family("ctgaussd_arbitrary_sigma_samples_total", "counter", "Samples served per free-form sigma, both tiers (capped tracking; see _sigmas_overflow).")
 		for _, ss := range arb.sigmaSamples {
-			fmt.Fprintf(w, "ctgaussd_arbitrary_sigma_samples_total{sigma=%q} %d\n", tier.SigmaString(ss.sigma), ss.samples)
+			f.rowf(sigLabel(tier.SigmaString(ss.sigma)), "%d", ss.samples)
 		}
 	}
 
-	if ts != nil {
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_samples_total Free-form samples served per tier (compiled = promoted pool, convolved = convolution fallback).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_samples_total counter")
-		fmt.Fprintf(w, "ctgaussd_tier_samples_total{tier=\"compiled\"} %d\n", m.tierCompiledSamples.Load())
-		fmt.Fprintf(w, "ctgaussd_tier_samples_total{tier=\"convolved\"} %d\n", m.tierConvolvedSamples.Load())
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_sample_seconds_total Time spent inside the sampler per tier (pool.Take / convolution draw; transport excluded — divide by _tier_samples_total for ns-per-sample).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_sample_seconds_total counter")
-		fmt.Fprintf(w, "ctgaussd_tier_sample_seconds_total{tier=\"compiled\"} %g\n", float64(m.tierCompiledNanos.Load())/1e9)
-		fmt.Fprintf(w, "ctgaussd_tier_sample_seconds_total{tier=\"convolved\"} %g\n", float64(m.tierConvolvedNanos.Load())/1e9)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_promotions_total Hot keys promoted onto compiled pools (build completed and installed).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_promotions_total counter")
-		fmt.Fprintf(w, "ctgaussd_tier_promotions_total %d\n", ts.stats.Promotions)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_demotions_total Compiled keys demoted back to the convolved tier (drain started).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_demotions_total counter")
-		fmt.Fprintf(w, "ctgaussd_tier_demotions_total %d\n", ts.stats.Demotions)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_builds_failed_total Promotion builds that errored or panicked (key stayed convolved).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_builds_failed_total counter")
-		fmt.Fprintf(w, "ctgaussd_tier_builds_failed_total %d\n", ts.stats.BuildsFailed)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_builds_deferred_total Promotion ticks skipped while the base set was degraded.")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_builds_deferred_total counter")
-		fmt.Fprintf(w, "ctgaussd_tier_builds_deferred_total %d\n", ts.stats.BuildsDeferred)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_pools Compiled pools currently held by the tier controller (building + compiled + draining).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_pools gauge")
-		fmt.Fprintf(w, "ctgaussd_tier_pools %d\n", ts.stats.Pools)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_pools_max Configured compiled-pool budget.")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_pools_max gauge")
-		fmt.Fprintf(w, "ctgaussd_tier_pools_max %d\n", ts.stats.MaxPools)
-		fmt.Fprintln(w, "# HELP ctgaussd_tier_state Tier state per tracked sigma (0=convolved, 1=building, 2=compiled, 3=draining).")
-		fmt.Fprintln(w, "# TYPE ctgaussd_tier_state gauge")
+	if ts := d.tier; ts != nil {
+		f = ps.family("ctgaussd_tier_samples_total", "counter", "Free-form samples served per tier (compiled = promoted pool, convolved = convolution fallback).")
+		f.rowf("{tier=\"compiled\"}", "%d", m.tierCompiledSamples.Load())
+		f.rowf("{tier=\"convolved\"}", "%d", m.tierConvolvedSamples.Load())
+		f = ps.family("ctgaussd_tier_sample_seconds_total", "counter", "Time spent inside the sampler per tier (pool.Take / convolution draw; transport excluded — divide by _tier_samples_total for ns-per-sample).")
+		f.rowf("{tier=\"compiled\"}", "%g", float64(m.tierCompiledNanos.Load())/1e9)
+		f.rowf("{tier=\"convolved\"}", "%g", float64(m.tierConvolvedNanos.Load())/1e9)
+		ps.family("ctgaussd_tier_promotions_total", "counter", "Hot keys promoted onto compiled pools (build completed and installed).").rowf("", "%d", ts.stats.Promotions)
+		ps.family("ctgaussd_tier_demotions_total", "counter", "Compiled keys demoted back to the convolved tier (drain started).").rowf("", "%d", ts.stats.Demotions)
+		ps.family("ctgaussd_tier_builds_failed_total", "counter", "Promotion builds that errored or panicked (key stayed convolved).").rowf("", "%d", ts.stats.BuildsFailed)
+		ps.family("ctgaussd_tier_builds_deferred_total", "counter", "Promotion ticks skipped while the base set was degraded.").rowf("", "%d", ts.stats.BuildsDeferred)
+		ps.family("ctgaussd_tier_pools", "gauge", "Compiled pools currently held by the tier controller (building + compiled + draining).").rowf("", "%d", ts.stats.Pools)
+		ps.family("ctgaussd_tier_pools_max", "gauge", "Configured compiled-pool budget.").rowf("", "%d", ts.stats.MaxPools)
+		f = ps.family("ctgaussd_tier_state", "gauge", "Tier state per tracked sigma (0=convolved, 1=building, 2=compiled, 3=draining).")
 		for _, k := range ts.keys {
-			fmt.Fprintf(w, "ctgaussd_tier_state{sigma=%q} %d\n", tier.SigmaString(k.Sigma), int32(k.State))
+			f.rowf(sigLabel(tier.SigmaString(k.Sigma)), "%d", int32(k.State))
 		}
 	}
 
-	fmt.Fprintln(w, "# HELP ctgaussd_draining Whether the server is draining (1) or accepting requests (0).")
-	fmt.Fprintln(w, "# TYPE ctgaussd_draining gauge")
-	d := 0
-	if draining {
-		d = 1
+	// Per-stage request-time histograms (tracing enabled only): where a
+	// request's wall time went, per endpoint.  Partition stages
+	// (queue_wait, decode, route, coalesce, encode, other) sum to
+	// total; engine_wait/eval/combine are sub-stages of coalesce.
+	if len(d.stages) > 0 {
+		f = ps.family("ctgaussd_stage_seconds", "histogram", "Per-stage request time by endpoint (partition stages sum to stage=\"total\"; engine_wait/eval/combine nest inside coalesce).")
+		for _, sc := range d.stages {
+			var cum uint64
+			next := 0
+			for _, bi := range stageBucketIdx {
+				for ; next <= bi; next++ {
+					cum += sc.Hist.Buckets[next]
+				}
+				le := float64(obs.BucketUpperNs(bi)) / 1e9
+				f.suffixRow("_bucket",
+					fmt.Sprintf("{stage=%q,endpoint=%q,le=%q}", sc.Stage, sc.Endpoint, fmt.Sprintf("%g", le)),
+					fmt.Sprintf("%d", cum))
+			}
+			f.suffixRow("_bucket",
+				fmt.Sprintf("{stage=%q,endpoint=%q,le=\"+Inf\"}", sc.Stage, sc.Endpoint),
+				fmt.Sprintf("%d", sc.Hist.Count))
+			f.suffixRow("_sum",
+				fmt.Sprintf("{stage=%q,endpoint=%q}", sc.Stage, sc.Endpoint),
+				fmt.Sprintf("%g", float64(sc.Hist.SumNs)/1e9))
+			f.suffixRow("_count",
+				fmt.Sprintf("{stage=%q,endpoint=%q}", sc.Stage, sc.Endpoint),
+				fmt.Sprintf("%d", sc.Hist.Count))
+		}
 	}
-	fmt.Fprintf(w, "ctgaussd_draining %d\n", d)
+
+	// Process-level telemetry: build identity, uptime, Go runtime.
+	b := obs.Build()
+	ps.family("ctgaussd_build_info", "gauge", "Build identity as labels (value is always 1).").
+		rowf(fmt.Sprintf("{version=%q,go_version=%q}", b.Version, b.GoVersion), "1")
+	ps.family("ctgaussd_uptime_seconds", "gauge", "Seconds since the server started.").rowf("", "%g", d.uptime.Seconds())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ps.family("ctgaussd_go_goroutines", "gauge", "Live goroutines in the process.").rowf("", "%d", runtime.NumGoroutine())
+	ps.family("ctgaussd_go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.").rowf("", "%d", ms.HeapAlloc)
+	ps.family("ctgaussd_go_heap_objects", "gauge", "Number of allocated heap objects.").rowf("", "%d", ms.HeapObjects)
+	ps.family("ctgaussd_go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.").rowf("", "%g", float64(ms.PauseTotalNs)/1e9)
+	ps.family("ctgaussd_go_gc_cycles_total", "counter", "Completed GC cycles.").rowf("", "%d", ms.NumGC)
+
+	dr := 0
+	if d.draining {
+		dr = 1
+	}
+	ps.family("ctgaussd_draining", "gauge", "Whether the server is draining (1) or accepting requests (0).").rowf("", "%d", dr)
+
+	ps.writeTo(w)
 }

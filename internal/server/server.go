@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"slices"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"ctgauss"
 	"ctgauss/falcon"
+	"ctgauss/internal/obs"
 	"ctgauss/internal/tier"
 )
 
@@ -99,6 +101,24 @@ type Config struct {
 	// TierMaxSigma is the widest σ worth compiling directly (default 64;
 	// exact minimization cost grows with the support ⌈τσ⌉).
 	TierMaxSigma float64
+
+	// Trace enables end-to-end request tracing: every request gets an
+	// X-Ctgauss-Trace ID, per-stage timings flow into the
+	// ctgaussd_stage_seconds{stage,endpoint} histograms, and the stage
+	// breakdown rides back on the X-Ctgauss-Stages response trailer.
+	// Off by default — the hot-path hooks then reduce to one atomic
+	// check and the served streams are bit-identical either way.
+	Trace bool
+	// SlowRequest, when > 0, emits a structured slow-request record
+	// (log/slog) for requests slower than this, with the stage
+	// breakdown and trace ID.  Implies Trace.
+	SlowRequest time.Duration
+	// SlowLogMinInterval rate-limits slow-request records: at most one
+	// per interval (0 = 100ms default; negative = log every one).
+	SlowLogMinInterval time.Duration
+	// Logger receives the server's structured events: slow-request
+	// records and tier-transition lines.  nil = slog.Default().
+	Logger *slog.Logger
 }
 
 // Endpoint names used for metrics and admission queues.
@@ -122,6 +142,8 @@ type Server struct {
 	signers      *falcon.SignerPool
 	pubEnc       string // base64 EncodePublic, fixed at startup
 	m            *metrics
+	obs          *obs.Observer
+	logger       *slog.Logger
 	queues       map[string]chan struct{}
 	handler      http.Handler
 	start        time.Time
@@ -181,13 +203,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Seed == nil {
 		cfg.Seed = []byte("ctgaussd-default-seed")
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	endpoints := []string{epSamples, epArbitrary, epSign, epVerify, epKey}
 	s := &Server{
 		cfg:          cfg,
 		defaultSigma: cfg.Sigmas[0],
 		co:           make(map[string]*coalescer),
-		m:            newMetrics([]string{epSamples, epArbitrary, epSign, epVerify, epKey}),
-		queues:       make(map[string]chan struct{}),
-		start:        time.Now(),
+		m:            newMetrics(endpoints),
+		obs: obs.New(obs.Config{
+			Trace:              cfg.Trace,
+			SlowRequest:        cfg.SlowRequest,
+			SlowLogMinInterval: cfg.SlowLogMinInterval,
+			Logger:             logger,
+		}, endpoints),
+		logger: logger,
+		queues: make(map[string]chan struct{}),
+		start:  time.Now(),
 	}
 	// Catch per-σ prefetch overrides that name no served σ (a typo'd or
 	// differently spelled value would otherwise leave that pool silently
@@ -251,6 +285,11 @@ func New(cfg Config) (*Server, error) {
 				}, cfg.PoolShards)
 			},
 			Degraded: s.arb.degraded,
+			// Tier transitions (promoting/promoted/build-failed/demoting)
+			// land in the structured log instead of vanishing.
+			Logf: func(format string, args ...any) {
+				s.logger.Info(fmt.Sprintf(format, args...), "component", "tier")
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: tier controller: %w", err)
@@ -362,6 +401,9 @@ func (s *Server) Close() {
 		if s.signers != nil {
 			s.signers.Close()
 		}
+		// Release the observability gate last: no request can be
+		// in-flight past Drain, so no trace outlives its Observer.
+		s.obs.Close()
 	})
 }
 
@@ -389,10 +431,34 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics and carries
+// the request's trace (nil when tracing is off) so writeJSON and
+// decodeBody can time the encode/decode stages without changing their
+// signatures.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	tr     *obs.Trace
+}
+
+// traceOf extracts the trace a handler's ResponseWriter carries — the
+// endpoint wrapper always hands handlers a *statusRecorder.  Returns
+// nil (and all Trace methods no-op) when tracing is off or w is a bare
+// writer (healthz/metrics, tests).
+func traceOf(w http.ResponseWriter) *obs.Trace {
+	if rec, ok := w.(*statusRecorder); ok {
+		return rec.tr
+	}
+	return nil
+}
+
+// tracedCtx extracts the request trace from a context, paying only the
+// global atomic check when tracing is off.
+func tracedCtx(ctx context.Context) *obs.Trace {
+	if !obs.TraceEnabled() {
+		return nil
+	}
+	return obs.FromContext(ctx)
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -446,10 +512,28 @@ func (s *Server) writeDrawError(w http.ResponseWriter, endpoint string, err erro
 // hint so well-behaved clients back off instead of hammering.
 func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 	em := s.m.endpoint(name)
+	epIdx := s.m.index(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqStart := time.Now()
+		tr := s.obs.Start(epIdx) // nil unless tracing is enabled
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK, tr: tr}
+		if tr != nil {
+			// The trace ID goes out on every traced response — refusals
+			// included — and the stage breakdown rides the response
+			// trailer (declared now, valued after the handler; writeJSON
+			// never sets Content-Length, so responses are chunked and
+			// trailers survive).
+			w.Header().Set(obs.TraceHeader, tr.ID())
+			w.Header().Set("Trailer", obs.StagesHeader)
+			r = r.WithContext(obs.ContextWith(r.Context(), tr))
+			defer func() {
+				s.obs.Finish(tr, rec.status, time.Since(reqStart))
+				w.Header().Set(obs.StagesHeader, tr.EncodeStages())
+			}()
+		}
 		if !s.tryEnter() {
 			em.refused.Add(1)
-			writeUnavailable(w, "server is draining")
+			writeUnavailable(rec, "server is draining")
 			return
 		}
 		defer s.inflight.Done()
@@ -457,6 +541,7 @@ func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 		// admission slot: its work would be thrown away anyway.
 		if r.Context().Err() != nil {
 			em.cancelled.Add(1)
+			rec.status = statusClientClosedRequest
 			return
 		}
 		queue := s.queues[name]
@@ -464,11 +549,12 @@ func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 		case queue <- struct{}{}:
 		default:
 			em.rejected.Add(1)
-			w.Header().Set("Retry-After", retryAfterSeconds)
-			writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+			rec.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(rec, http.StatusTooManyRequests, "server overloaded: admission queue full")
 			return
 		}
 		defer func() { <-queue }()
+		tr.End(obs.StageQueueWait, reqStart)
 		if s.cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
@@ -481,7 +567,6 @@ func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 		em.inflight.Add(1)
 		defer em.inflight.Add(-1)
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		em.lat.observe(time.Since(start))
 		// 499s are client departures, not server faults; they have their
@@ -493,10 +578,13 @@ func (s *Server) endpoint(name string, h http.HandlerFunc) http.Handler {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	tr := traceOf(w)
+	t0 := tr.Now()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
+	tr.End(obs.StageEncode, t0)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -505,10 +593,14 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // decodeBody parses a JSON request body into v with a 1 MiB cap.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	tr := traceOf(w)
+	t0 := tr.Now()
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	err := dec.Decode(v)
+	tr.End(obs.StageDecode, t0)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return false
 	}
@@ -564,7 +656,11 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]int, req.Count)
-	if err := co.draw(r.Context(), out); err != nil {
+	tr := traceOf(w)
+	t0 := tr.Now()
+	err := co.draw(r.Context(), out)
+	tr.End(obs.StageCoalesce, t0)
+	if err != nil {
 		s.writeDrawError(w, epSamples, err)
 		return
 	}
@@ -599,7 +695,10 @@ func (s *Server) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "message is not valid base64: "+err.Error())
 		return
 	}
+	tr := traceOf(w)
+	t0 := tr.Now()
 	sig, err := s.signers.SignContext(r.Context(), msg)
+	tr.End(obs.StageCoalesce, t0)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.writeDrawError(w, epSign, err)
@@ -721,11 +820,18 @@ type poolHealthJSON struct {
 
 // healthResponse is the /healthz schema.
 type healthResponse struct {
-	Status        string   `json:"status"` // "ok", "degraded" or "draining"
-	UptimeSeconds float64  `json:"uptime_seconds"`
-	Sigmas        []string `json:"sigmas"`
-	DefaultSigma  string   `json:"default_sigma"`
-	PoolShards    int      `json:"pool_shards"`
+	Status        string  `json:"status"` // "ok", "degraded" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build identifies the running binary: the -ldflags-stamped version
+	// (ctgauss/internal/obs.Version), the Go toolchain, and the VCS
+	// revision when built from a checkout.
+	Build obs.BuildInfo `json:"build"`
+	// Trace reports whether request tracing (X-Ctgauss-Trace, stage
+	// histograms) is enabled on this server.
+	Trace        bool     `json:"trace"`
+	Sigmas       []string `json:"sigmas"`
+	DefaultSigma string   `json:"default_sigma"`
+	PoolShards   int      `json:"pool_shards"`
 	// Prefetch is the default-σ pool's resolved refill lookahead depth
 	// (0 = synchronous refill).
 	Prefetch int `json:"prefetch"`
@@ -799,6 +905,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	resp := healthResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         obs.Build(),
+		Trace:         s.obs.Enabled(),
 		Sigmas:        s.cfg.Sigmas,
 		DefaultSigma:  s.defaultSigma,
 		PoolShards:    s.co[s.defaultSigma].pool.Size(),
@@ -879,5 +987,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ts = &tierScrape{stats: s.tier.Stats(), keys: s.tier.Snapshot()}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.writePrometheus(w, sigmas, arb, ts, s.isDraining())
+	s.m.writePrometheus(w, scrapeData{
+		sigmas:   sigmas,
+		arb:      arb,
+		tier:     ts,
+		draining: s.isDraining(),
+		uptime:   time.Since(s.start),
+		stages:   s.obs.Scrape(),
+	})
 }

@@ -298,6 +298,15 @@ type ShardHealth = engine.ShardHealth
 // poisoned/dead flags, discarded refills), indexed by shard.
 func (p *Pool) Health() []ShardHealth { return p.eng.Health() }
 
+// RingStat is one shard's prefetch-ring occupancy snapshot (see
+// internal/engine): buffered completed refills, the producer's
+// adaptive target, and the configured depth.
+type RingStat = engine.RingStat
+
+// RingStats snapshots per-shard ring occupancy — the source of the
+// ctgaussd_engine_ring_* gauges.
+func (p *Pool) RingStats() []RingStat { return p.eng.Rings() }
+
 // Size returns the shard count.
 func (p *Pool) Size() int { return len(p.samplers) }
 
