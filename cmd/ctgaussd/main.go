@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"ctgauss/falcon"
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/obs"
 	"ctgauss/internal/server"
 )
@@ -90,7 +91,12 @@ func main() {
 				fmt.Printf("+dirty")
 			}
 		}
-		fmt.Println(")")
+		simd := dispatch.Snapshot()
+		fmt.Printf(") simd=%s width=%d available=%s\n",
+			simd.Backend, simd.Width, strings.Join(simd.Available, ","))
+		if simd.OverrideError != "" {
+			fmt.Printf("simd override: %s\n", simd.OverrideError)
+		}
 		return
 	}
 
@@ -157,7 +163,11 @@ func main() {
 	logger.Info("pools ready",
 		"build_time", time.Since(buildStart).Round(time.Millisecond).String(),
 		"sigmas", *sigmas, "falcon_n", *falconN,
-		"version", b.Version, "go_version", b.GoVersion)
+		"version", b.Version, "go_version", b.GoVersion,
+		"simd", dispatch.Active().String(), "simd_width", dispatch.Active().NativeWidth())
+	if msg := dispatch.Snapshot().OverrideError; msg != "" {
+		logger.Warn("simd override not honored", "detail", msg)
+	}
 	if s.Tier() != nil {
 		logger.Info("tiering enabled",
 			"promote_rps", *tierPromoteRPS, "window", tierWindow.String(), "max_pools", *tierMaxPools)

@@ -12,6 +12,7 @@
 //	samplebench -arbitrary -json BENCH_PR4.json   # convolved vs direct-compiled
 //	samplebench -serving -json BENCH_PR5.json     # sync vs async refill engine
 //	samplebench -serving -engine async            # one engine variant only
+//	samplebench -simd -json BENCH_PR10.json       # SIMD backends vs portable interp
 //
 // The Table-2 JSON report compares every evaluation engine (reference SSA
 // interpreter, register-allocated interpreter at widths 1/4/8, generated
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"ctgauss"
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/core"
 	"ctgauss/internal/prng"
 	"ctgauss/internal/registry"
@@ -47,6 +49,7 @@ func main() {
 	parallelMode := flag.Bool("parallel", false, "measure parallel build, cache hits, and pool serving throughput")
 	arbitraryMode := flag.Bool("arbitrary", false, "measure the convolution layer (free-form σ, μ) vs direct compiled circuits")
 	servingMode := flag.Bool("serving", false, "measure served-batch latency and throughput on the pool refill engine (BENCH_PR5.json)")
+	simdMode := flag.Bool("simd", false, "measure the SIMD evaluation backends against the portable interpreter (BENCH_PR10.json)")
 	engineSel := flag.String("engine", "both", "refill engine for -serving: sync, async, or both")
 	goroutines := flag.String("goroutines", "1,4,16", "comma-separated pool caller counts for -parallel and -serving")
 	cacheDir := flag.String("cache", "", "on-disk circuit cache directory for -parallel (default: memory only)")
@@ -80,6 +83,10 @@ func main() {
 	}
 	if *servingMode {
 		servingBench(*sigma, *goroutines, *batches, *engineSel, *jsonPath)
+		return
+	}
+	if *simdMode {
+		simdBench(*batches, *jsonPath)
 		return
 	}
 	table2(*batches, *cyclesPerNs, *jsonPath)
@@ -485,6 +492,164 @@ func servingBench(sigma, goroutines string, batches int, engineSel, jsonPath str
 	fmt.Println("producers refill during the gaps, so a draw pays a copy instead of a circuit")
 	fmt.Println("evaluation — the p99 win the acceptance criteria track.  saturated rows have no")
 	fmt.Println("gaps; prefetch can only pipeline evaluations there.  BENCH_PR5.json records this.")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		check(err)
+	}
+}
+
+// simdRow is one (σ, backend, width) measurement of the -simd report.
+// The eval columns time RunWideInto alone — the work the SIMD kernels
+// replace — while the sampler columns time the full NextBatch path
+// (PRNG refill + evaluation + transpose unpack), which is what serving
+// actually pays.  Speedups are against the portable W=8 interpreter,
+// the pre-PR10 serving configuration.
+type simdRow struct {
+	Sigma                   string  `json:"sigma"`
+	Backend                 string  `json:"backend"`
+	Width                   int     `json:"width"`
+	Engine                  string  `json:"engine"` // "interp" or "compiled"
+	EvalNsPerSample         float64 `json:"eval_ns_per_sample"`
+	EvalSpeedupVsPortableW8 float64 `json:"eval_speedup_vs_portable_w8"`
+	NsPerSample             float64 `json:"ns_per_sample"`
+	SpeedupVsPortableW8     float64 `json:"speedup_vs_portable_w8"`
+}
+
+// simdReport is the samplebench -simd JSON schema (BENCH_PR10.json).
+type simdReport struct {
+	GOOS     string    `json:"goos"`
+	GOARCH   string    `json:"goarch"`
+	CPUs     int       `json:"cpus"`
+	Batches  int       `json:"batches_per_measurement"`
+	Active   string    `json:"active_backend"`
+	Detected []string  `json:"detected_backends"`
+	Rows     []simdRow `json:"rows"`
+}
+
+// simdBench measures every detected SIMD backend against the portable
+// interpreter on the two Table-2 circuits, at the two kernel widths.
+// Each (backend, width) pair is forced via dispatch.Force so one run
+// covers the whole matrix; the compiled (generated native, width-1)
+// circuit rides along as the PR 8 serving tier's reference point.
+func simdBench(batches int, jsonPath string) {
+	snap := dispatch.Snapshot()
+	backends := append([]dispatch.Backend{dispatch.Portable}, dispatch.Detected()...)
+	report := simdReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Batches: batches, Active: snap.Backend,
+	}
+	report.Detected = append(report.Detected, "portable")
+	for _, b := range dispatch.Detected() {
+		report.Detected = append(report.Detected, b.String())
+	}
+
+	fmt.Printf("SIMD evaluation backends — %d batches per measurement, active=%s\n\n", batches, snap.Backend)
+	fmt.Printf("%-10s %-10s %-6s %-10s %14s %10s %14s %10s\n",
+		"sigma", "backend", "width", "engine", "eval ns/smp", "speedup", "ns/sample", "speedup")
+
+	for _, sigmaStr := range []string{"2", "6.15543"} {
+		split, err := core.Build(core.Config{Sigma: sigmaStr, N: 128, TailCut: 13, Min: core.MinimizeExact})
+		check(err)
+		opt := split.Optimized()
+
+		// evalNs times RunWideInto alone on fixed pseudorandom inputs:
+		// width×64 samples per call, so the per-sample figure is directly
+		// comparable across widths.
+		evalNs := func(w int) float64 {
+			src := prng.MustChaCha20([]byte("simd-bench"))
+			rd := prng.NewBitReader(src)
+			inputs := make([]uint64, opt.NumInputs*w)
+			rd.Words(inputs)
+			slots := opt.NewSlots(w)
+			out := make([]uint64, len(opt.Outputs)*w)
+			calls := batches
+			start := time.Now()
+			for i := 0; i < calls; i++ {
+				opt.RunWideInto(w, inputs, slots, out)
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(calls) / float64(w*64)
+		}
+		// samplerNs times the full NextBatch path at width w, per sample.
+		samplerNs := func(w int) float64 {
+			s := split.NewWideSampler(prng.MustChaCha20([]byte("simd-bench")), w)
+			return float64(timeBatches(s, batches).Nanoseconds()) / float64(batches) / 64
+		}
+
+		// One discarded portable pass pays the cold-start cost (page-in,
+		// frequency ramp) before anything is timed.
+		restore, err := dispatch.Force(dispatch.Portable)
+		check(err)
+		evalNs(8)
+		samplerNs(8)
+		restore()
+
+		var rows []simdRow
+		for _, b := range backends {
+			restore, err := dispatch.Force(b)
+			if err != nil {
+				fmt.Printf("%-10s %-10s skipped: %v\n", sigmaStr, b, err)
+				continue
+			}
+			for _, w := range []int{8, 16} {
+				rows = append(rows, simdRow{
+					Sigma: sigmaStr, Backend: b.String(), Width: w, Engine: "interp",
+					EvalNsPerSample: evalNs(w), NsPerSample: samplerNs(w),
+				})
+			}
+			restore()
+		}
+
+		// The generated width-1 native circuit (PR 8 compiled tier) for
+		// context: backend-independent, so measured once.
+		fn, nin, nv, ok := gen.Lookup(sigmaStr)
+		if !ok {
+			check(fmt.Errorf("no generated circuit for σ=%s", sigmaStr))
+		}
+		sc := sampler.NewCompiled("compiled", fn, nin, nv, prng.MustChaCha20([]byte("simd-bench")))
+		rows = append(rows, simdRow{
+			Sigma: sigmaStr, Backend: "any", Width: 1, Engine: "compiled",
+			NsPerSample: float64(timeBatches(sc, batches).Nanoseconds()) / float64(batches) / 64,
+		})
+
+		// Speedups are against the portable-W8 row of this same matrix,
+		// so the baseline and its comparisons share one timing run and
+		// portable/8 reads exactly 1.00×.
+		var baseEval, baseSampler float64
+		for _, r := range rows {
+			if r.Backend == "portable" && r.Width == 8 {
+				baseEval, baseSampler = r.EvalNsPerSample, r.NsPerSample
+			}
+		}
+		for i := range rows {
+			r := &rows[i]
+			if r.EvalNsPerSample > 0 {
+				r.EvalSpeedupVsPortableW8 = baseEval / r.EvalNsPerSample
+			}
+			r.SpeedupVsPortableW8 = baseSampler / r.NsPerSample
+			if r.Engine == "compiled" {
+				fmt.Printf("%-10s %-10s %-6d %-10s %14s %10s %14.2f %9.2fx\n",
+					r.Sigma, r.Backend, r.Width, r.Engine, "-", "-", r.NsPerSample, r.SpeedupVsPortableW8)
+			} else {
+				fmt.Printf("%-10s %-10s %-6d %-10s %14.2f %9.2fx %14.2f %9.2fx\n",
+					r.Sigma, r.Backend, r.Width, r.Engine, r.EvalNsPerSample,
+					r.EvalSpeedupVsPortableW8, r.NsPerSample, r.SpeedupVsPortableW8)
+			}
+		}
+		fmt.Println()
+		report.Rows = append(report.Rows, rows...)
+	}
+	fmt.Println("eval ns/smp times RunWideInto alone (the work the kernels replace); ns/sample")
+	fmt.Println("is the full NextBatch path including PRNG refill and transpose unpack.  Both")
+	fmt.Println("speedup columns are vs the portable W=8 interpreter (pre-PR10 serving config).")
+	fmt.Println("BENCH_PR10.json records this table.")
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

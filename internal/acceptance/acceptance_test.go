@@ -78,8 +78,9 @@ func TestReportFinalizeAndJSON(t *testing.T) {
 // TestGoldenVerify is the standing regression net: every pinned stream —
 // all PRNG backends × engine widths plus the compiled circuits — must
 // match testdata/golden.json at every prefetch depth.  This subsumes the
-// depth>0 vs depth=0 identity property at W ∈ {1, 4, 8}: one pinned
-// digest, three depths.
+// depth>0 vs depth=0 identity property at W ∈ {1, 2, 4, 8, 16}: one
+// pinned digest, three depths.  Cross-SIMD-backend identity at the
+// kernel widths is TestGoldenBackendsIdentical.
 func TestGoldenVerify(t *testing.T) {
 	results, err := VerifyGolden("testdata/golden.json")
 	if err != nil {

@@ -67,7 +67,9 @@ const goldenCount = 2048
 func GoldenCases() []GoldenCase {
 	var cases []GoldenCase
 	for _, prngName := range []string{"chacha20", "shake256", "aes-ctr"} {
-		for _, w := range []int{1, 4, 8} {
+		// 8 and 16 are the SIMD kernel widths (portable/AVX2 and AVX-512
+		// native); 1, 2, 4 pin the narrow interpreter layouts.
+		for _, w := range []int{1, 2, 4, 8, 16} {
 			cases = append(cases, GoldenCase{
 				Name:      fmt.Sprintf("interp/%s/w%d", prngName, w),
 				Kind:      "interp",
@@ -183,10 +185,8 @@ func RecordGolden(path string) (*GoldenFile, error) {
 	return gf, nil
 }
 
-// VerifyGolden checks every current case against the pinned file at
-// every depth in GoldenDepths.  A case missing from the file, a stale
-// vector without a matching case, or any digest mismatch fails.
-func VerifyGolden(path string) ([]GoldenResult, error) {
+// loadGolden reads and parses a pinned golden file.
+func loadGolden(path string) (*GoldenFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("acceptance: reading golden file: %w", err)
@@ -194,6 +194,17 @@ func VerifyGolden(path string) ([]GoldenResult, error) {
 	var gf GoldenFile
 	if err := json.Unmarshal(data, &gf); err != nil {
 		return nil, fmt.Errorf("acceptance: parsing golden file %s: %w", path, err)
+	}
+	return &gf, nil
+}
+
+// VerifyGolden checks every current case against the pinned file at
+// every depth in GoldenDepths.  A case missing from the file, a stale
+// vector without a matching case, or any digest mismatch fails.
+func VerifyGolden(path string) ([]GoldenResult, error) {
+	gf, err := loadGolden(path)
+	if err != nil {
+		return nil, err
 	}
 	pinned := make(map[string]GoldenVector, len(gf.Vectors))
 	for _, v := range gf.Vectors {

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package dispatch
+
+// probe reports no SIMD backends on architectures without kernels; the
+// portable interpreter serves everything.  A NEON backend would hook in
+// here (and in the bitslice kernel table) without touching the
+// selection or plumbing layers.
+func probe() []Backend { return nil }

@@ -1,0 +1,91 @@
+package dispatch
+
+import "testing"
+
+func TestChoose(t *testing.T) {
+	both := []Backend{AVX2, AVX512}
+	avx2Only := []Backend{AVX2}
+	cases := []struct {
+		override string
+		detected []Backend
+		want     Backend
+		wantErr  bool
+	}{
+		{"", both, AVX512, false},
+		{"", avx2Only, AVX2, false},
+		{"", nil, Portable, false},
+		{"off", both, Portable, false},
+		{"portable", both, Portable, false},
+		{"none", both, Portable, false},
+		{"avx2", both, AVX2, false},
+		{"avx512", both, AVX512, false},
+		{"avx512", avx2Only, AVX2, true}, // degrade, flag it
+		{"avx2", nil, Portable, true},
+		{"bogus", both, AVX512, true},
+	}
+	for _, tc := range cases {
+		got, msg := choose(tc.override, tc.detected)
+		if got != tc.want {
+			t.Errorf("choose(%q, %v) = %s, want %s", tc.override, tc.detected, got, tc.want)
+		}
+		if (msg != "") != tc.wantErr {
+			t.Errorf("choose(%q, %v) message = %q, wantErr=%v", tc.override, tc.detected, msg, tc.wantErr)
+		}
+	}
+}
+
+func TestNativeWidth(t *testing.T) {
+	if w := Portable.NativeWidth(); w != 8 {
+		t.Errorf("portable native width %d, want 8", w)
+	}
+	if w := AVX2.NativeWidth(); w != 16 {
+		t.Errorf("avx2 native width %d, want 16", w)
+	}
+	if w := AVX512.NativeWidth(); w != 16 {
+		t.Errorf("avx512 native width %d, want 16", w)
+	}
+}
+
+func TestForceRoundTrip(t *testing.T) {
+	before := Active()
+	restore, err := Force(Portable)
+	if err != nil {
+		t.Fatalf("Force(Portable): %v", err)
+	}
+	if Active() != Portable {
+		t.Fatalf("after Force(Portable): active = %s", Active())
+	}
+	restore()
+	if Active() != before {
+		t.Fatalf("after restore: active = %s, want %s", Active(), before)
+	}
+
+	// Forcing every detected backend must succeed; an undetected one
+	// must fail without disturbing the selection.
+	for _, b := range Detected() {
+		r, err := Force(b)
+		if err != nil {
+			t.Fatalf("Force(%s): %v", b, err)
+		}
+		if Active() != b {
+			t.Fatalf("after Force(%s): active = %s", b, Active())
+		}
+		r()
+	}
+	if Active() != before {
+		t.Fatalf("after sweep: active = %s, want %s", Active(), before)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	info := Snapshot()
+	if info.Backend != Active().String() {
+		t.Errorf("snapshot backend %q != active %s", info.Backend, Active())
+	}
+	if info.Width != Active().NativeWidth() {
+		t.Errorf("snapshot width %d != native %d", info.Width, Active().NativeWidth())
+	}
+	if len(info.Available) == 0 || info.Available[0] != "portable" {
+		t.Errorf("available must lead with portable: %v", info.Available)
+	}
+}

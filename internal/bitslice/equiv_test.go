@@ -9,13 +9,33 @@ import (
 	"testing"
 
 	"ctgauss/internal/bitslice"
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/core"
 )
 
 // TestOptimizeSigmaCircuits proves the optimized engine bit-identical to
 // the reference interpreter on both of the paper's generated circuits, at
-// every evaluation width, including the transpose-based unpacking.
+// every evaluation width, including the transpose-based unpacking.  The
+// whole sweep repeats once per available backend (forced portable, then
+// each detected SIMD ISA), so widths 8 and 16 — the ones with assembly
+// kernels — are proven identical across every implementation this
+// machine can run.
 func TestOptimizeSigmaCircuits(t *testing.T) {
+	backends := append([]dispatch.Backend{dispatch.Portable}, dispatch.Detected()...)
+	for _, backend := range backends {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			restore, err := dispatch.Force(backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restore()
+			testOptimizeSigmaCircuits(t)
+		})
+	}
+}
+
+func testOptimizeSigmaCircuits(t *testing.T) {
 	for _, sigma := range []string{"2", "6.15543"} {
 		sigma := sigma
 		t.Run("sigma"+sigma, func(t *testing.T) {
@@ -35,7 +55,7 @@ func TestOptimizeSigmaCircuits(t *testing.T) {
 			}
 
 			rng := rand.New(rand.NewSource(1234))
-			for _, w := range []int{1, 4, 8} {
+			for _, w := range []int{1, 2, 4, 8, 16} {
 				for trial := 0; trial < 8; trial++ {
 					wideIn := make([]uint64, p.NumInputs*w)
 					refIn := make([][]uint64, w)

@@ -1,6 +1,9 @@
 package bitslice
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // This file implements the optimizing compiler pass over a Program.  The
 // SSA form the builder emits is convenient to construct and serialize but
@@ -59,6 +62,10 @@ type Optimized struct {
 	ZeroSlot, OnesSlot int32
 
 	source *Program
+
+	// simd8/simd16 cache the packed kernel form (simd.go) per
+	// evaluation width; read with one atomic load on the refill path.
+	simd8, simd16 atomic.Pointer[[]simdInstr]
 }
 
 // Program returns the source program this form was compiled from.

@@ -88,10 +88,17 @@ func (o *Optimized) RunInto(inputs, slots, out []uint64) {
 // the instruction stream, amortizing dispatch across w words per
 // instruction.  inputs is input-major with w words per input, slots must
 // hold NumSlots*w words, out receives len(Outputs)*w words output-major.
-// Widths 4 and 8 take fixed-width specializations; other widths a generic
-// loop.
+//
+// At widths 8 and 16 the active SIMD backend (dispatch package), if
+// any, interprets the packed op stream in assembly; every backend
+// computes the identical word stream, so the selection is invisible
+// beyond speed.  Otherwise widths 4 and 8 take fixed-width Go
+// specializations and remaining widths the generic loop.
 func (o *Optimized) RunWideInto(w int, inputs, slots, out []uint64) {
 	o.checkRunArgs(w, inputs, slots, out)
+	if (w == 8 || w == 16) && o.runSIMD(w, inputs, slots, out) {
+		return
+	}
 	switch w {
 	case 1:
 		o.RunInto(inputs, slots, out)
@@ -360,21 +367,14 @@ func (o *Optimized) runWide8(inputs, slots, out []uint64) {
 	}
 }
 
-// runWideGeneric handles arbitrary widths with runtime-bounded loops.
+// runWideGeneric handles arbitrary widths.  Each op runs over the slot
+// in fixed-width blocks of four words — (*[4]uint64) casts give the
+// compiler constant trip counts it unrolls and vectorizes, where a
+// single runtime-bounded `for j < w` loop kept bounds checks and a
+// per-word branch in the hot path — with a scalar tail for w mod 4.
 func (o *Optimized) runWideGeneric(w int, inputs, slots, out []uint64) {
-	copy(slots[:o.NumInputs*w], inputs)
-	if o.ZeroSlot >= 0 {
-		z := slots[int(o.ZeroSlot)*w : (int(o.ZeroSlot)+1)*w]
-		for j := range z {
-			z[j] = 0
-		}
-	}
-	if o.OnesSlot >= 0 {
-		n := slots[int(o.OnesSlot)*w : (int(o.OnesSlot)+1)*w]
-		for j := range n {
-			n[j] = ^uint64(0)
-		}
-	}
+	o.prepSlots(w, inputs, slots)
+	wb := w &^ 3
 	for i := range o.Code {
 		in := &o.Code[i]
 		a := slots[int(in.A)*w : (int(in.A)+1)*w]
@@ -383,60 +383,149 @@ func (o *Optimized) runWideGeneric(w int, inputs, slots, out []uint64) {
 		d := slots[int(in.Dst)*w : (int(in.Dst)+1)*w]
 		switch in.Op {
 		case OpAnd:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:])
+				da[0] = aa[0] & ba[0]
+				da[1] = aa[1] & ba[1]
+				da[2] = aa[2] & ba[2]
+				da[3] = aa[3] & ba[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = a[j] & b[j]
 			}
 		case OpOr:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:])
+				da[0] = aa[0] | ba[0]
+				da[1] = aa[1] | ba[1]
+				da[2] = aa[2] | ba[2]
+				da[3] = aa[3] | ba[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = a[j] | b[j]
 			}
 		case OpXor:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:])
+				da[0] = aa[0] ^ ba[0]
+				da[1] = aa[1] ^ ba[1]
+				da[2] = aa[2] ^ ba[2]
+				da[3] = aa[3] ^ ba[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = a[j] ^ b[j]
 			}
 		case OpNot:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:])
+				da[0] = ^aa[0]
+				da[1] = ^aa[1]
+				da[2] = ^aa[2]
+				da[3] = ^aa[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = ^a[j]
 			}
 		case OpAndNot:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:])
+				da[0] = aa[0] &^ ba[0]
+				da[1] = aa[1] &^ ba[1]
+				da[2] = aa[2] &^ ba[2]
+				da[3] = aa[3] &^ ba[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = a[j] &^ b[j]
 			}
 		case opAndOr:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = ca[0] | (aa[0] & ba[0])
+				da[1] = ca[1] | (aa[1] & ba[1])
+				da[2] = ca[2] | (aa[2] & ba[2])
+				da[3] = ca[3] | (aa[3] & ba[3])
+			}
+			for j := wb; j < w; j++ {
 				d[j] = c[j] | (a[j] & b[j])
 			}
 		case opAndNotOr:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = ca[0] | (aa[0] &^ ba[0])
+				da[1] = ca[1] | (aa[1] &^ ba[1])
+				da[2] = ca[2] | (aa[2] &^ ba[2])
+				da[3] = ca[3] | (aa[3] &^ ba[3])
+			}
+			for j := wb; j < w; j++ {
 				d[j] = c[j] | (a[j] &^ b[j])
 			}
 		case opOrOr:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = ca[0] | (aa[0] | ba[0])
+				da[1] = ca[1] | (aa[1] | ba[1])
+				da[2] = ca[2] | (aa[2] | ba[2])
+				da[3] = ca[3] | (aa[3] | ba[3])
+			}
+			for j := wb; j < w; j++ {
 				d[j] = c[j] | (a[j] | b[j])
 			}
 		case opAndAnd:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = ca[0] & (aa[0] & ba[0])
+				da[1] = ca[1] & (aa[1] & ba[1])
+				da[2] = ca[2] & (aa[2] & ba[2])
+				da[3] = ca[3] & (aa[3] & ba[3])
+			}
+			for j := wb; j < w; j++ {
 				d[j] = c[j] & (a[j] & b[j])
 			}
 		case opOrAnd:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = ca[0] & (aa[0] | ba[0])
+				da[1] = ca[1] & (aa[1] | ba[1])
+				da[2] = ca[2] & (aa[2] | ba[2])
+				da[3] = ca[3] & (aa[3] | ba[3])
+			}
+			for j := wb; j < w; j++ {
 				d[j] = c[j] & (a[j] | b[j])
 			}
 		case opAndNotAnd:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = ca[0] & (aa[0] &^ ba[0])
+				da[1] = ca[1] & (aa[1] &^ ba[1])
+				da[2] = ca[2] & (aa[2] &^ ba[2])
+				da[3] = ca[3] & (aa[3] &^ ba[3])
+			}
+			for j := wb; j < w; j++ {
 				d[j] = c[j] & (a[j] &^ b[j])
 			}
 		case opAndAndNot:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = (aa[0] & ba[0]) &^ ca[0]
+				da[1] = (aa[1] & ba[1]) &^ ca[1]
+				da[2] = (aa[2] & ba[2]) &^ ca[2]
+				da[3] = (aa[3] & ba[3]) &^ ca[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = (a[j] & b[j]) &^ c[j]
 			}
 		case opAndNotAndNot:
-			for j := 0; j < w; j++ {
+			for j := 0; j < wb; j += 4 {
+				da, aa, ba, ca := (*[4]uint64)(d[j:]), (*[4]uint64)(a[j:]), (*[4]uint64)(b[j:]), (*[4]uint64)(c[j:])
+				da[0] = (aa[0] &^ ba[0]) &^ ca[0]
+				da[1] = (aa[1] &^ ba[1]) &^ ca[1]
+				da[2] = (aa[2] &^ ba[2]) &^ ca[2]
+				da[3] = (aa[3] &^ ba[3]) &^ ca[3]
+			}
+			for j := wb; j < w; j++ {
 				d[j] = (a[j] &^ b[j]) &^ c[j]
 			}
 		}
 	}
-	for i, s := range o.Outputs {
-		copy(out[i*w:(i+1)*w], slots[int(s)*w:int(s+1)*w])
-	}
+	o.gatherOutputs(w, slots, out)
 }

@@ -1,0 +1,51 @@
+package bitslice
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSimdInstrLayout pins the packed record layout the assembly
+// kernels decode: five little-endian uint32 fields at fixed offsets,
+// 20 bytes per record with no padding.
+func TestSimdInstrLayout(t *testing.T) {
+	var si simdInstr
+	if s := unsafe.Sizeof(si); s != simdInstrSize {
+		t.Fatalf("sizeof(simdInstr) = %d, want %d", s, simdInstrSize)
+	}
+	offsets := map[string]uintptr{
+		"op": unsafe.Offsetof(si.op),
+		"a":  unsafe.Offsetof(si.a),
+		"b":  unsafe.Offsetof(si.b),
+		"c":  unsafe.Offsetof(si.c),
+		"d":  unsafe.Offsetof(si.d),
+	}
+	want := map[string]uintptr{"op": 0, "a": 4, "b": 8, "c": 12, "d": 16}
+	for f, off := range want {
+		if offsets[f] != off {
+			t.Errorf("offsetof(simdInstr.%s) = %d, want %d", f, offsets[f], off)
+		}
+	}
+}
+
+// TestDenseOpCoversFused ensures every opcode Optimize can emit has a
+// kernel form — a new fused op without a kernel handler would
+// silently corrupt SIMD evaluation, so denseOp must know it.
+func TestDenseOpCoversFused(t *testing.T) {
+	ops := []Op{
+		OpAnd, OpOr, OpXor, OpNot, OpAndNot,
+		opAndOr, opAndNotOr, opOrOr, opAndAnd, opOrAnd,
+		opAndNotAnd, opAndAndNot, opAndNotAndNot,
+	}
+	seen := make(map[uint32]Op, len(ops))
+	for _, op := range ops {
+		d := denseOp(op)
+		if d > sopAndNotAndNot {
+			t.Errorf("denseOp(%s) = %d, outside kernel range", op, d)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Errorf("denseOp collision: %s and %s both map to %d", prev, op, d)
+		}
+		seen[d] = op
+	}
+}

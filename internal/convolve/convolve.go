@@ -212,8 +212,8 @@ func New(cfg Config) (*Sampler, error) {
 		s.shards[i] = &shard{coins: prng.NewBitReader(src)}
 	}
 	// One engine per base member: shard i of every engine holds that
-	// shard's independent stream for the member, refilled 512 lanes at a
-	// time ahead of demand.
+	// shard's independent stream for the member, refilled a native-width
+	// evaluation (width×64 lanes) at a time ahead of demand.
 	depth := cfg.Prefetch
 	switch {
 	case depth == 0:
@@ -223,6 +223,10 @@ func New(cfg Config) (*Sampler, error) {
 	}
 	s.engines = make([]*engine.Engine[int], len(set.Members))
 	s.baseBits = make([]uint64, len(set.Members))
+	// Base evaluation width follows the active SIMD backend; captured once
+	// here so every member's stream, refill quantum, and bit ledger agree
+	// even if a test flips the backend mid-lifetime.
+	baseWidth := sampler.NativeWidth()
 	for bi, art := range set.Members {
 		art := art
 		bi := bi
@@ -231,7 +235,7 @@ func New(cfg Config) (*Sampler, error) {
 			if err != nil {
 				return nil, err
 			}
-			return art.NewWideSampler(src, sampler.DefaultWidth), nil
+			return art.NewWideSampler(src, baseWidth), nil
 		}
 		wides := make([]sampler.BatchSampler, cfg.Shards)
 		for i := range wides {
@@ -242,10 +246,10 @@ func New(cfg Config) (*Sampler, error) {
 			}
 			wides[i] = w
 		}
-		s.baseBits[bi] = uint64(art.Program.NumInputs+1) * 64 * sampler.DefaultWidth
+		s.baseBits[bi] = uint64(art.Program.NumInputs+1) * 64 * uint64(baseWidth)
 		s.engines[bi] = engine.New(engine.Config{
 			Shards:   cfg.Shards,
-			SlotSize: sampler.DefaultWidth * 64,
+			SlotSize: baseWidth * 64,
 			Depth:    depth,
 			// Reset rebuilds the shard's wide sampler from its
 			// domain-separated seed after a recovered refill panic, so the

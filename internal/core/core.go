@@ -307,13 +307,15 @@ func (b *Built) Optimized() *bitslice.Optimized {
 }
 
 // NewSampler instantiates a constant-time sampler instance over the built
-// program with its own PRNG state, at the default evaluation width.
+// program with its own PRNG state, at the active SIMD backend's native
+// evaluation width (the stream layout therefore depends on the host's
+// best backend; width-stable consumers use NewWideSampler).
 func (b *Built) NewSampler(src prng.Source) *sampler.Bitsliced {
 	return sampler.NewBitslicedOpt("bitsliced-split("+b.Config.Sigma+")", b.Optimized(), src)
 }
 
 // NewWideSampler instantiates a sampler at an explicit evaluation width
-// (1 = the paper's per-batch form, 4/8 = 256/512 lanes per pass).
+// (1 = the paper's per-batch form, 8/16 = the SIMD kernel widths).
 func (b *Built) NewWideSampler(src prng.Source, w int) *sampler.Bitsliced {
 	return sampler.NewBitslicedWidth(fmt.Sprintf("bitsliced-wide%d(%s)", w, b.Config.Sigma), b.Optimized(), src, w)
 }

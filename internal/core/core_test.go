@@ -8,7 +8,6 @@ import (
 	"ctgauss/internal/bitslice"
 	"ctgauss/internal/ddg"
 	"ctgauss/internal/prng"
-	"ctgauss/internal/sampler"
 )
 
 func build(t *testing.T, sigma string, n int, min Minimizer) *Built {
@@ -193,9 +192,9 @@ func TestBitsPerBatchMatchesCircuitWidth(t *testing.T) {
 	b := build(t, "2", 32, MinimizeExact)
 	s := b.NewSampler(prng.MustChaCha20([]byte("bits")))
 	s.Next()
-	// One refill evaluates DefaultWidth batches, each costing NumInputs
-	// input words plus one sign word.
-	wantBits := uint64(b.Program.NumInputs+1) * 64 * sampler.DefaultWidth
+	// One refill evaluates Width (the backend's native width) batches,
+	// each costing NumInputs input words plus one sign word.
+	wantBits := uint64(b.Program.NumInputs+1) * 64 * uint64(s.Width())
 	if s.BitsUsed() != wantBits {
 		t.Fatalf("BitsUsed = %d, want %d", s.BitsUsed(), wantBits)
 	}

@@ -15,6 +15,7 @@ import (
 	"math/big"
 
 	"ctgauss/internal/bitslice"
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/ddg"
 	"ctgauss/internal/gaussian"
 	"ctgauss/internal/prng"
@@ -103,12 +104,21 @@ func (b *batchBuf) nextBatch(dst []int, refill func()) {
 	}
 }
 
-// DefaultWidth is the evaluation width of NewBitsliced/NewBitslicedOpt
-// samplers: every circuit evaluation runs each instruction over
-// DefaultWidth contiguous words (DefaultWidth×64 lanes), which amortizes
-// interpreter dispatch and mispredicted branches across the lanes — the
-// dominant cost of width-1 interpretation.
+// DefaultWidth is the portable evaluation width: every circuit
+// evaluation runs each instruction over DefaultWidth contiguous words
+// (DefaultWidth×64 lanes), which amortizes interpreter dispatch and
+// mispredicted branches across the lanes — the dominant cost of width-1
+// interpretation.  Width-dependent callers (golden vectors, stream
+// comparisons) pin this; throughput paths should use NativeWidth, which
+// widens with the active SIMD backend.
 const DefaultWidth = 8
+
+// NativeWidth returns the evaluation width the active SIMD backend is
+// most efficient at (8 portable/AVX2, 16 AVX-512).  NewBitsliced and
+// NewBitslicedOpt samplers evaluate at this width; note the randomness
+// stream layout depends on the width (W-batch blocks), so fixed-stream
+// consumers must pin an explicit width via NewBitslicedWidth instead.
+func NativeWidth() int { return dispatch.Active().NativeWidth() }
 
 // Bitsliced is the paper's constant-time sampler: a compiled straight-line
 // circuit evaluated on W×64 lanes of packed random bits per pass.  The
@@ -137,22 +147,23 @@ type Bitsliced struct {
 }
 
 // NewBitsliced wraps a compiled program and a random source, optimizing
-// the program first and evaluating at DefaultWidth.  When many samplers
-// share one circuit, optimize once and use NewBitslicedOpt (the
-// registry's Artifact does this).
+// the program first and evaluating at the active backend's native width.
+// When many samplers share one circuit, optimize once and use
+// NewBitslicedOpt (the registry's Artifact does this).
 func NewBitsliced(name string, prog *bitslice.Program, src prng.Source) *Bitsliced {
 	return NewBitslicedOpt(name, bitslice.Optimize(prog), src)
 }
 
 // NewBitslicedOpt wraps an already-optimized circuit and a random source
-// at DefaultWidth.
+// at the active backend's native width (NativeWidth).  Callers that need
+// a width-stable randomness stream must use NewBitslicedWidth.
 func NewBitslicedOpt(name string, opt *bitslice.Optimized, src prng.Source) *Bitsliced {
-	return NewBitslicedWidth(name, opt, src, DefaultWidth)
+	return NewBitslicedWidth(name, opt, src, NativeWidth())
 }
 
 // NewBitslicedWidth wraps an optimized circuit with an explicit
-// evaluation width w ≥ 1 (1 = the reference stream layout, 4 or 8 = 256
-// or 512 lanes per pass).
+// evaluation width w ≥ 1 (1 = the reference stream layout, 8 or 16 =
+// the SIMD kernel widths, 512 or 1024 lanes per pass).
 func NewBitslicedWidth(name string, opt *bitslice.Optimized, src prng.Source, w int) *Bitsliced {
 	if w < 1 {
 		panic(fmt.Sprintf("sampler: width %d < 1", w))

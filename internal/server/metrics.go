@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ctgauss"
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/obs"
 	"ctgauss/internal/tier"
 )
@@ -438,7 +439,7 @@ func (m *metrics) writePrometheus(w io.Writer, d scrapeData) {
 	// Process-level telemetry: build identity, uptime, Go runtime.
 	b := obs.Build()
 	ps.family("ctgaussd_build_info", "gauge", "Build identity as labels (value is always 1).").
-		rowf(fmt.Sprintf("{version=%q,go_version=%q}", b.Version, b.GoVersion), "1")
+		rowf(fmt.Sprintf("{version=%q,go_version=%q,simd=%q}", b.Version, b.GoVersion, dispatch.Active().String()), "1")
 	ps.family("ctgaussd_uptime_seconds", "gauge", "Seconds since the server started.").rowf("", "%g", d.uptime.Seconds())
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/obs"
 )
 
@@ -260,7 +261,8 @@ func TestBuildInfoExposed(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 
 	b := obs.Build()
-	series := fmt.Sprintf("ctgaussd_build_info{version=%q,go_version=%q}", b.Version, b.GoVersion)
+	series := fmt.Sprintf("ctgaussd_build_info{version=%q,go_version=%q,simd=%q}",
+		b.Version, b.GoVersion, dispatch.Active().String())
 	if v := scrapeMetric(t, ts.URL, series); v != 1 {
 		t.Fatalf("%s = %g, want 1", series, v)
 	}
@@ -274,6 +276,12 @@ func TestBuildInfoExposed(t *testing.T) {
 	h := getHealth(t, ts.URL)
 	if h.Build.Version != b.Version || h.Build.GoVersion != b.GoVersion {
 		t.Fatalf("healthz build block %+v does not match obs.Build() %+v", h.Build, b)
+	}
+	if want := dispatch.Snapshot(); h.Simd.Backend != want.Backend || h.Simd.Width != want.Width {
+		t.Fatalf("healthz simd block %+v does not match dispatch.Snapshot() %+v", h.Simd, want)
+	}
+	if len(h.Simd.Available) == 0 || h.Simd.Available[0] != "portable" {
+		t.Fatalf("healthz simd available must lead with portable: %v", h.Simd.Available)
 	}
 	if h.Trace {
 		t.Fatal("healthz reports tracing on for an untraced server")

@@ -15,6 +15,7 @@ import (
 
 	"ctgauss"
 	"ctgauss/falcon"
+	"ctgauss/internal/bitslice/dispatch"
 	"ctgauss/internal/obs"
 	"ctgauss/internal/tier"
 )
@@ -828,10 +829,15 @@ type healthResponse struct {
 	Build obs.BuildInfo `json:"build"`
 	// Trace reports whether request tracing (X-Ctgauss-Trace, stage
 	// histograms) is enabled on this server.
-	Trace        bool     `json:"trace"`
-	Sigmas       []string `json:"sigmas"`
-	DefaultSigma string   `json:"default_sigma"`
-	PoolShards   int      `json:"pool_shards"`
+	Trace bool `json:"trace"`
+	// Simd is the circuit evaluation backend: which kernel set executes
+	// the bitsliced op stream (portable/avx2/avx512), its native
+	// evaluation width, the backends this CPU supports, and any
+	// CTGAUSS_SIMD override (plus why it was not honored, if so).
+	Simd         dispatch.Info `json:"simd"`
+	Sigmas       []string      `json:"sigmas"`
+	DefaultSigma string        `json:"default_sigma"`
+	PoolShards   int           `json:"pool_shards"`
 	// Prefetch is the default-σ pool's resolved refill lookahead depth
 	// (0 = synchronous refill).
 	Prefetch int `json:"prefetch"`
@@ -907,6 +913,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Build:         obs.Build(),
 		Trace:         s.obs.Enabled(),
+		Simd:          dispatch.Snapshot(),
 		Sigmas:        s.cfg.Sigmas,
 		DefaultSigma:  s.defaultSigma,
 		PoolShards:    s.co[s.defaultSigma].pool.Size(),

@@ -85,8 +85,11 @@ const DefaultPrefetch = engine.DefaultDepth
 // poolWidth is the evaluation width of interpreter-backed pool shards:
 // each circuit evaluation runs over poolWidth contiguous words (so
 // poolWidth×64 samples per pass), amortizing interpreter dispatch and the
-// bulk randomness draw across batches served from one refill.
-const poolWidth = sampler.DefaultWidth
+// bulk randomness draw across batches served from one refill.  It
+// follows the active SIMD backend's native width (8 portable, 16
+// AVX-512), so each pool's stream — and its golden pins — is a function
+// of the backend's width, never of which ISA executes it.
+func poolWidth() int { return sampler.NativeWidth() }
 
 // NewPool builds a serving pool with default configuration for the given
 // σ.  parallelism is the shard count: 0 means runtime.NumCPU().
@@ -119,7 +122,8 @@ func NewPoolWithConfig(cfg Config, parallelism int) (*Pool, error) {
 	// Only trust the generated circuit when its shape matches the freshly
 	// built program (it is regenerated by `go generate`, not per build).
 	useCompiled := fn != nil && nin == art.Program.NumInputs && nval == art.Program.ValueBits
-	p := &Pool{art: art, picker: engine.NewPicker(parallelism), width: poolWidth}
+	interpWidth := poolWidth()
+	p := &Pool{art: art, picker: engine.NewPicker(parallelism), width: interpWidth}
 	if useCompiled {
 		p.width = 1
 	}
@@ -131,7 +135,7 @@ func NewPoolWithConfig(cfg Config, parallelism int) (*Pool, error) {
 		if useCompiled {
 			return sampler.NewCompiled(fmt.Sprintf("pool-compiled(%s)#%d", cfg.Sigma, i), fn, nin, nval, src), nil
 		}
-		return art.NewWideSampler(src, poolWidth), nil
+		return art.NewWideSampler(src, interpWidth), nil
 	}
 	p.samplers = make([]sampler.BatchSampler, parallelism)
 	for i := range p.samplers {
